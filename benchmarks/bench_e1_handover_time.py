@@ -1,0 +1,107 @@
+"""Experiment E1 -- Equation (1): t_handover = P * L * D.
+
+Sweeps hand-over distance, link length, and ring size; checks the
+analytical formula against gaps *measured* in simulation by forcing
+hand-overs of known distance.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.constants import FIBRE_PROPAGATION_DELAY_S_PER_M
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.engine import Simulation
+from repro.traffic.base import TrafficSource
+
+
+class _ForcedHandover(TrafficSource):
+    """One sender per slot, chosen to realise a fixed hand-over distance."""
+
+    def __init__(self, node, n_nodes, distance):
+        self.node = node
+        self.n_nodes = n_nodes
+        self.distance = distance
+
+    def messages_for_slot(self, slot):
+        # Senders rotate by `distance` nodes per slot.
+        if (slot * self.distance) % self.n_nodes != self.node:
+            return []
+        return [
+            Message(
+                source=self.node,
+                destinations=frozenset([(self.node + 1) % self.n_nodes]),
+                traffic_class=TrafficClass.BEST_EFFORT,
+                size_slots=1,
+                created_slot=slot,
+                deadline_slot=slot + 2,
+            )
+        ]
+
+
+def measured_gap_for_distance(n, link_m, distance, n_slots=200):
+    topology = RingTopology.uniform(n, link_m)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    sim = Simulation(
+        timing,
+        CcrEdfProtocol(topology),
+        sources=[_ForcedHandover(i, n, distance) for i in range(n)],
+    )
+    gaps = [sim.step().gap_s for _ in range(n_slots)]
+    steady = [g for g in gaps[10:] if g > 0]
+    return max(set(steady), key=steady.count) if steady else 0.0
+
+
+def test_e1_handover_vs_distance(run_once, benchmark):
+    n, link_m = 8, 10.0
+    p = FIBRE_PROPAGATION_DELAY_S_PER_M
+
+    def sweep():
+        rows = []
+        for d in range(1, n):
+            analytical = p * link_m * d
+            measured = measured_gap_for_distance(n, link_m, d)
+            rows.append((d, analytical * 1e9, measured * 1e9,
+                         measured / analytical))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "E1: t_handover = P*L*D (N=8, L=10 m), analytical vs simulated",
+        ["D (hops)", "Eq.(1) [ns]", "measured [ns]", "ratio"],
+        rows,
+    )
+    for _, analytical, measured, ratio in rows:
+        assert ratio == pytest.approx(1.0, rel=1e-9)
+    benchmark.extra_info["worst_case_ns"] = rows[-1][1]
+
+
+def test_e1_worst_case_scaling(run_once, benchmark):
+    """Worst case D = N-1 across ring sizes and link lengths."""
+
+    def sweep():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            for link_m in (1.0, 10.0, 100.0):
+                timing = NetworkTiming(
+                    topology=RingTopology.uniform(n, link_m),
+                    link=FibreRibbonLink(),
+                )
+                expected = (
+                    FIBRE_PROPAGATION_DELAY_S_PER_M * link_m * (n - 1)
+                )
+                assert timing.max_handover_time_s == pytest.approx(expected)
+                rows.append((n, link_m, timing.max_handover_time_s * 1e9))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "E1b: worst-case hand-over t = P*L*(N-1)",
+        ["N", "L [m]", "t_handover_max [ns]"],
+        rows,
+    )
+    benchmark.extra_info["configs"] = len(rows)

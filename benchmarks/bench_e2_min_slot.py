@@ -1,0 +1,91 @@
+"""Experiment E2 -- Equation (2): t_minslot = N * t_node + t_prop.
+
+Sweeps ring size and length; additionally cross-checks that the
+collection-phase packet (its real bit length at the control channel
+rate, plus per-node transit delays and ring propagation) indeed fits
+within the Eq. (2) minimum slot -- the constraint the equation encodes.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core.timing import NetworkTiming
+
+from repro.phy.link import FibreRibbonLink
+from repro.phy.packets import collection_packet_length_bits
+from repro.ring.topology import RingTopology
+
+
+def test_e2_min_slot_sweep(run_once, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            for link_m in (10.0, 100.0):
+                topology = RingTopology.uniform(n, link_m)
+                timing = NetworkTiming(
+                    topology=topology, link=FibreRibbonLink()
+                )
+                from repro.phy.packets import distribution_packet_length_bits
+
+                link = FibreRibbonLink()
+                expected = (
+                    link.control_transfer_time_s(1)
+                    + n * timing.effective_node_delay_s
+                    + topology.ring_propagation_delay_s
+                    + link.control_transfer_time_s(
+                        distribution_packet_length_bits(n)
+                    )
+                )
+                assert timing.min_slot_length_s == pytest.approx(expected)
+                rows.append(
+                    (
+                        n,
+                        link_m,
+                        timing.min_slot_length_s * 1e6,
+                        timing.nominal_slot_length_s * 1e6,
+                        timing.slot_length_s * 1e6,
+                    )
+                )
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "E2: t_minslot = N*t_node + t_prop (1 KiB payload)",
+        ["N", "L [m]", "min slot [us]", "payload slot [us]", "operating slot [us]"],
+        rows,
+    )
+    benchmark.extra_info["configs"] = len(rows)
+
+
+def test_e2_collection_phase_fits_in_slot(run_once, benchmark):
+    """The reason for Eq. (2): the collection packet must return to the
+    master before the slot ends.  Verified with exact packet bit counts
+    from the Figure 4 format."""
+
+    def check():
+        rows = []
+        for n in (4, 8, 16, 32):
+            topology = RingTopology.uniform(n, 10.0)
+            link = FibreRibbonLink()
+            timing = NetworkTiming(topology=topology, link=link)
+            bits = collection_packet_length_bits(n)
+            serialisation = link.control_transfer_time_s(bits)
+            transit = n * timing.node_delay_s
+            prop = topology.ring_propagation_delay_s
+            collection_time = serialisation + transit + prop
+            fits = collection_time <= timing.slot_length_s
+            rows.append(
+                (n, bits, serialisation * 1e6, (transit + prop) * 1e6,
+                 collection_time * 1e6, timing.slot_length_s * 1e6, fits)
+            )
+        return rows
+
+    rows = run_once(check)
+    print_table(
+        "E2b: collection phase vs slot length (Figure 3 overlap feasibility)",
+        ["N", "pkt bits", "serialise [us]", "transit+prop [us]",
+         "collection [us]", "slot [us]", "fits"],
+        rows,
+    )
+    assert all(r[-1] for r in rows), "collection phase must fit in every slot"
+    benchmark.extra_info["max_n_checked"] = rows[-1][0]

@@ -1,0 +1,123 @@
+"""Experiment E5/E6 -- Equations (5)/(6): U_max and the EDF admission test.
+
+Sweeps U_max over slot length, ring length, and node count (the design
+space of Eq. 6), then validates the Eq. (5) admission boundary against
+simulation: sets admitted at the boundary never miss, sets just past the
+slot-domain capacity miss.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.core.admission import AdmissionController
+from repro.core.priorities import TrafficClass
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.runner import ScenarioConfig, run_scenario
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+
+def test_e6_umax_design_space(run_once, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16, 32):
+            for link_m in (10.0, 100.0, 1000.0):
+                for payload in (256, 1024, 4096):
+                    t = NetworkTiming(
+                        topology=RingTopology.uniform(n, link_m),
+                        link=FibreRibbonLink(),
+                        slot_payload_bytes=payload,
+                    )
+                    rows.append((n, link_m, payload, t.u_max))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "E6: U_max = t_slot / (t_slot + t_handover_max)",
+        ["N", "L [m]", "payload [B]", "U_max"],
+        rows,
+    )
+    # Shape checks: U_max falls with ring length and rises with payload.
+    by_key = {(n, l, p): u for n, l, p, u in rows}
+    assert by_key[(8, 1000.0, 1024)] < by_key[(8, 10.0, 1024)]
+    assert by_key[(8, 100.0, 4096)] > by_key[(8, 100.0, 256)]
+    benchmark.extra_info["u_max_default"] = by_key[(8, 10.0, 1024)]
+
+
+def test_e5_admission_boundary_in_simulation(run_once, benchmark):
+    """Feasible-by-Eq.(5) sets never miss; overloaded sets do.
+
+    Section 5: the analysis guarantees one message per slot and "the
+    benefits of [spatial reuse are] not taken into account" -- so the
+    boundary is checked in analysis mode (reuse off), with a reuse-on
+    column showing the run-time bonus that softens overload in practice.
+    """
+
+    def boundary():
+        rows = []
+        rng = np.random.default_rng(123)
+        base = random_connection_set(
+            rng, 8, 12, 0.5, period_range=(20, 200)
+        )
+        for target_u in (0.3, 0.6, 0.9, 0.99, 1.1, 1.3):
+            conns = scale_connections_to_utilisation(base, target_u)
+            achieved = sum(c.utilisation for c in conns)
+            miss = {}
+            for reuse in (False, True):
+                config = ScenarioConfig(
+                    n_nodes=8, connections=tuple(conns), spatial_reuse=reuse
+                )
+                report = run_scenario(config, n_slots=30_000)
+                rt = report.class_stats(TrafficClass.RT_CONNECTION)
+                miss[reuse] = rt.deadline_miss_ratio
+            rows.append((target_u, achieved, miss[False], miss[True]))
+        return rows
+
+    rows = run_once(boundary)
+    print_table(
+        "E5: deadline-miss ratio across the admission boundary "
+        "(analysis mode vs with spatial reuse)",
+        ["target U", "achieved U", "miss (no reuse)", "miss (reuse)"],
+        rows,
+    )
+    for target_u, achieved, miss_analysis, _ in rows:
+        if achieved <= 1.0:
+            assert miss_analysis == 0, (
+                f"feasible set (U={achieved}) missed deadlines"
+            )
+    assert rows[-1][2] > 0, "overload must produce misses in analysis mode"
+    benchmark.extra_info["boundary_points"] = len(rows)
+
+
+def test_e5_admission_controller_tracks_umax(run_once, benchmark):
+    """The controller's accept/reject sequence honours Eq. (5) exactly."""
+
+    def admit():
+        timing = NetworkTiming(
+            topology=RingTopology.uniform(8, 10.0), link=FibreRibbonLink()
+        )
+        controller = AdmissionController(timing)
+        rng = np.random.default_rng(7)
+        candidates = random_connection_set(
+            rng, 8, 40, total_utilisation=2.5, period_range=(20, 400)
+        )
+        accepted = rejected = 0
+        for c in candidates:
+            if controller.request(c).accepted:
+                accepted += 1
+            else:
+                rejected += 1
+        return accepted, rejected, controller.utilisation, controller.u_max
+
+    accepted, rejected, util, u_max = run_once(admit)
+    print_table(
+        "E5b: admission controller at 2.5x offered utilisation",
+        ["accepted", "rejected", "U(Ma)", "U_max"],
+        [(accepted, rejected, util, u_max)],
+    )
+    assert util <= u_max
+    assert rejected > 0
+    benchmark.extra_info["final_utilisation"] = util

@@ -1,0 +1,98 @@
+"""Experiment F4/F5 -- Figures 4 and 5: control packet formats.
+
+Regenerates the field layout tables of both control packets for a range
+of ring sizes, round-trips every packet through its exact over-fibre bit
+sequence, and reports the control-channel overhead (packet bits per
+slot) that the arbitration costs -- the quantity the paper's
+"control and data are overlapped in time" argument renders harmless.
+"""
+
+from conftest import print_table
+
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.phy.packets import (
+    PRIORITY_FIELD_BITS,
+    collection_packet_length_bits,
+    distribution_packet_length_bits,
+    index_field_width,
+)
+from repro.ring.topology import RingTopology
+
+
+def test_f4_collection_format(run_once, benchmark):
+    def table():
+        rows = []
+        for n in (2, 4, 8, 16, 32, 64):
+            per_request = PRIORITY_FIELD_BITS + 2 * n
+            total = collection_packet_length_bits(n)
+            assert total == 1 + n * per_request
+            rows.append((n, 1, PRIORITY_FIELD_BITS, n, n, per_request, total))
+        return rows
+
+    rows = run_once(table)
+    print_table(
+        "F4: collection packet layout -- start | N x (prio, links, dsts)",
+        ["N", "start", "prio bits", "link bits", "dst bits",
+         "bits/request", "total bits"],
+        rows,
+    )
+    benchmark.extra_info["n64_bits"] = rows[-1][-1]
+
+
+def test_f5_distribution_format(run_once, benchmark):
+    def table():
+        rows = []
+        for n in (2, 4, 8, 16, 32, 64):
+            total = distribution_packet_length_bits(n)
+            rows.append((n, 1, n - 1, index_field_width(n), total))
+        return rows
+
+    rows = run_once(table)
+    print_table(
+        "F5: distribution packet layout -- start | results | hp index",
+        ["N", "start", "result bits", "index bits (log2 N)", "total bits"],
+        rows,
+    )
+    # The figure's field widths: N-1 result bits, ceil(log2 N) index bits.
+    for n, _, result_bits, index_bits, _ in rows:
+        assert result_bits == n - 1
+        assert index_bits == max(1, (n - 1).bit_length())
+    benchmark.extra_info["n64_bits"] = rows[-1][-1]
+
+
+def test_f45_control_overhead_fits_slot(run_once, benchmark):
+    """Both packets must fit the control channel within one slot -- the
+    feasibility behind the Figure 3 overlap, at exact bit counts."""
+
+    def table():
+        rows = []
+        link = FibreRibbonLink()
+        for n in (4, 8, 16, 32):
+            timing = NetworkTiming(
+                topology=RingTopology.uniform(n, 10.0), link=link
+            )
+            coll = collection_packet_length_bits(n)
+            dist = distribution_packet_length_bits(n)
+            slot_bits = int(timing.slot_length_s * link.clock_rate_hz)
+            rows.append(
+                (
+                    n,
+                    coll,
+                    dist,
+                    slot_bits,
+                    (coll + dist) / slot_bits,
+                )
+            )
+        return rows
+
+    rows = run_once(table)
+    print_table(
+        "F4/F5: control bits per slot vs slot capacity (bit-serial channel)",
+        ["N", "collection bits", "distribution bits",
+         "control bits/slot capacity", "fraction used"],
+        rows,
+    )
+    for n, coll, dist, slot_bits, frac in rows:
+        assert coll + dist <= slot_bits, f"N={n}: control exceeds one slot"
+    benchmark.extra_info["worst_fraction"] = rows[-1][-1]

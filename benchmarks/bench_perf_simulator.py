@@ -1,0 +1,74 @@
+"""Performance of the simulator itself (slots per second).
+
+Not a paper experiment: this tracks the engine's own speed so
+regressions in the hot path (request composition, the grant sweep, the
+slot loop) are caught.  Uses real pytest-benchmark rounds, unlike the
+experiment benches which run once and report protocol metrics.
+"""
+
+import numpy as np
+
+from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+SLOTS = 2000
+
+
+def _sim(n_nodes, utilisation, seed=1):
+    rng = np.random.default_rng(seed)
+    conns = random_connection_set(
+        rng, n_nodes, 2 * n_nodes, 0.5, period_range=(10, 100)
+    )
+    conns = scale_connections_to_utilisation(conns, utilisation)
+    return build_simulation(
+        ScenarioConfig(n_nodes=n_nodes, connections=tuple(conns))
+    )
+
+
+def test_perf_loaded_ring_n8(benchmark):
+    def run():
+        sim = _sim(8, 0.8)
+        sim.run(SLOTS)
+        return sim.report.packets_sent
+
+    packets = benchmark(run)
+    assert packets > 0
+    benchmark.extra_info["slots_per_round"] = SLOTS
+
+
+def test_perf_loaded_ring_n32(benchmark):
+    def run():
+        sim = _sim(32, 0.8)
+        sim.run(SLOTS)
+        return sim.report.packets_sent
+
+    packets = benchmark(run)
+    assert packets > 0
+    benchmark.extra_info["slots_per_round"] = SLOTS
+
+
+def test_perf_idle_ring(benchmark):
+    """The no-traffic fast path: planning cost with empty queues."""
+
+    def run():
+        sim = build_simulation(ScenarioConfig(n_nodes=8))
+        sim.run(SLOTS)
+        return sim.report.slots_simulated
+
+    slots = benchmark(run)
+    assert slots == SLOTS
+
+
+def test_perf_ccfpr_baseline(benchmark):
+    def run():
+        rng = np.random.default_rng(1)
+        conns = random_connection_set(rng, 8, 16, 0.8, period_range=(10, 100))
+        sim = build_simulation(
+            ScenarioConfig(n_nodes=8, protocol="ccfpr", connections=tuple(conns))
+        )
+        sim.run(SLOTS)
+        return sim.report.packets_sent
+
+    packets = benchmark(run)
+    assert packets > 0

@@ -1,0 +1,113 @@
+"""Experiment S10 -- reliable transmission over a lossy channel.
+
+The ack-piggybacking design of refs [4][11] (modelled as one extra slot
+of the message's own traffic per lost packet, zero control overhead):
+goodput, retransmission overhead and latency inflation across loss
+rates, and the loss rate at which a half-loaded guaranteed workload
+starts missing deadlines (retransmissions consume the schedulability
+slack).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.services.reliable import PacketLossModel, ReliableStats
+from repro.sim.runner import ScenarioConfig, build_simulation
+
+
+def workload(n, period=16, size=2):
+    return tuple(
+        LogicalRealTimeConnection(
+            source=i,
+            destinations=frozenset([(i + 2) % n]),
+            period_slots=period,
+            size_slots=size,
+            phase_slots=2 * i,
+        )
+        for i in range(n)
+    )
+
+
+def test_s10_goodput_and_latency_vs_loss(run_once, benchmark):
+    n = 8
+
+    def sweep():
+        rows = []
+        for loss_p in (0.0, 0.01, 0.05, 0.1, 0.2):
+            config = ScenarioConfig(n_nodes=n, connections=workload(n))
+            loss = (
+                PacketLossModel(loss_p, np.random.default_rng(10))
+                if loss_p
+                else None
+            )
+            sim = build_simulation(config, loss_model=loss)
+            report = sim.run(20_000)
+            stats = ReliableStats.from_simulation(sim)
+            rt = report.class_stats(TrafficClass.RT_CONNECTION)
+            rows.append(
+                (
+                    loss_p,
+                    stats.goodput_fraction,
+                    stats.retransmission_overhead,
+                    rt.mean_latency_slots,
+                    rt.deadline_miss_ratio,
+                )
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S10: reliable transmission vs packet-loss rate (U=0.5 RT load)",
+        ["loss p", "goodput", "retx overhead", "RT mean latency",
+         "RT miss ratio"],
+        rows,
+    )
+    # Goodput tracks 1-p; overhead tracks p/(1-p); latency rises with p.
+    for loss_p, goodput, overhead, latency, _ in rows:
+        if loss_p:
+            assert abs(goodput - (1 - loss_p)) < 0.05
+            assert abs(overhead - loss_p / (1 - loss_p)) < 0.05
+    latencies = [r[3] for r in rows]
+    assert latencies == sorted(latencies)
+    # At modest loss, the 8x slack absorbs every retransmission.
+    assert all(r[4] == 0.0 for r in rows if r[0] <= 0.1)
+    benchmark.extra_info["max_loss_tested"] = rows[-1][0]
+
+
+def test_s10_loss_erodes_schedulability_slack(run_once, benchmark):
+    """A tighter workload (U=0.75): heavy loss pushes effective demand
+    past capacity and deadlines start falling."""
+    n = 8
+
+    def sweep():
+        rows = []
+        for loss_p in (0.0, 0.2, 0.4):
+            config = ScenarioConfig(
+                n_nodes=n,
+                connections=workload(n, period=32, size=3),  # U = 0.75
+                spatial_reuse=False,
+                drop_late=True,
+            )
+            loss = (
+                PacketLossModel(loss_p, np.random.default_rng(11))
+                if loss_p
+                else None
+            )
+            sim = build_simulation(config, loss_model=loss)
+            report = sim.run(20_000)
+            rt = report.class_stats(TrafficClass.RT_CONNECTION)
+            effective_u = 0.75 / (1 - loss_p)
+            rows.append((loss_p, effective_u, rt.deadline_miss_ratio))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S10b: loss eroding the U=0.75 slack (no spatial reuse)",
+        ["loss p", "effective U", "RT miss ratio"],
+        rows,
+    )
+    assert rows[0][2] == 0.0
+    assert rows[-1][2] > 0.0, "40% loss must break U=0.75 without reuse"
+    benchmark.extra_info["miss_at_40pct_loss"] = rows[-1][2]

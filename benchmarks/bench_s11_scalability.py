@@ -1,0 +1,121 @@
+"""Experiment S11 -- scalability with ring size.
+
+The paper targets "LANs and SANs where the number of nodes and network
+length is relatively small ... since the propagation delay adversely
+affects the medium access protocol".  This bench quantifies how each
+figure of merit scales with N, with replicated runs (mean over seeds)
+for the stochastic quantities:
+
+* the guaranteed bound U_max and the control-packet overhead (quadratic
+  collection packet!) that ultimately caps N;
+* achieved utilisation and reuse on a uniform random workload;
+* the access-latency gap between CCR-EDF and the rotation protocols
+  (constant vs linear in N).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.analysis.bounds import (
+    ccr_edf_access_bound_slots,
+    tdma_access_bound_slots,
+)
+from repro.core.priorities import TrafficClass
+from repro.phy.packets import collection_packet_length_bits
+from repro.sim.batch import replicate
+from repro.sim.runner import ScenarioConfig, build_simulation, make_timing
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+
+def test_s11_analytical_scaling(run_once, benchmark):
+    def table():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            config = ScenarioConfig(n_nodes=n)
+            timing = make_timing(config)
+            coll_bits = collection_packet_length_bits(n)
+            slot_bits = int(timing.slot_length_s * timing.link.clock_rate_hz)
+            rows.append(
+                (
+                    n,
+                    timing.u_max,
+                    timing.slot_length_s * 1e6,
+                    coll_bits,
+                    coll_bits / slot_bits,
+                    ccr_edf_access_bound_slots(),
+                    tdma_access_bound_slots(n),
+                )
+            )
+        return rows
+
+    rows = run_once(table)
+    print_table(
+        "S11: analytical scaling with ring size (10 m links, 1 KiB slots)",
+        ["N", "U_max", "slot [us]", "collection bits",
+         "control/slot", "EDF access bound", "TDMA access bound"],
+        rows,
+    )
+    # The quadratic collection packet stretches the slot at large N
+    # (Eq. 2 floor), visible as slot growth from N = 32 up.
+    assert rows[-1][2] > rows[0][2]
+    # CCR-EDF's slot-domain access bound is N-independent.
+    assert all(r[5] == 2 for r in rows)
+    assert rows[-1][6] == 65
+    benchmark.extra_info["n_range"] = [r[0] for r in rows]
+
+
+def test_s11_measured_scaling(run_once, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16):
+            def build(rng: "np.random.Generator", n=n):
+                conns = random_connection_set(
+                    rng, n, 2 * n, 0.5, period_range=(10, 100)
+                )
+                conns = scale_connections_to_utilisation(conns, 0.8)
+                config = ScenarioConfig(n_nodes=n, connections=tuple(conns))
+                return build_simulation(config)
+
+            result = replicate(
+                build,
+                n_slots=8000,
+                metrics={
+                    "miss": lambda r: r.class_stats(
+                        TrafficClass.RT_CONNECTION
+                    ).deadline_miss_ratio,
+                    "latency": lambda r: r.class_stats(
+                        TrafficClass.RT_CONNECTION
+                    ).mean_latency_slots,
+                    "reuse": lambda r: r.spatial_reuse_factor,
+                    "util": lambda r: r.utilisation,
+                },
+                n_replications=5,
+                master_seed=11,
+            )
+            rows.append(
+                (
+                    n,
+                    result["miss"].mean,
+                    result["latency"].mean,
+                    result["latency"].sem,
+                    result["reuse"].mean,
+                    result["util"].mean,
+                )
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S11b: measured scaling, U=0.8 random workload "
+        "(mean of 5 seeds; latency +/- SEM)",
+        ["N", "miss ratio", "mean latency", "SEM", "reuse", "utilisation"],
+        rows,
+    )
+    for n, miss, latency, _, reuse, util in rows:
+        assert miss == 0.0, f"N={n}: feasible load must not miss"
+        assert util > 0.9
+    # Reuse grows with ring size (more disjoint segments available).
+    reuses = [r[4] for r in rows]
+    assert reuses[-1] > reuses[0]
+    benchmark.extra_info["reuse_by_n"] = reuses

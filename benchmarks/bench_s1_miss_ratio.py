@@ -1,0 +1,122 @@
+"""Experiment S1 -- deadline-miss ratio vs offered load, all protocols.
+
+The headline comparison of the promised simulation study: CCR-EDF
+sustains feasible loads with zero misses; the round-robin-clocked
+baselines (upper-EDF hybrid and CC-FPR) suffer priority inversion; TDMA
+is deadline-blind.  Run on an asymmetric workload (hot node + background)
+where the per-node 1/N guarantee of rotation protocols bites.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.sim.runner import PROTOCOLS, ScenarioConfig, run_scenario
+
+
+def hot_node_workload(n_nodes, hot_utilisation):
+    """One hot node carrying most of the load + light background."""
+    period = 10
+    hot_size = max(1, round(hot_utilisation * period))
+    conns = [
+        LogicalRealTimeConnection(
+            source=0,
+            destinations=frozenset([n_nodes // 2]),
+            period_slots=period,
+            size_slots=hot_size,
+        )
+    ]
+    # Background: every other node sends 1 slot per 100 to its neighbour.
+    for i in range(1, n_nodes):
+        conns.append(
+            LogicalRealTimeConnection(
+                source=i,
+                destinations=frozenset([(i + 1) % n_nodes]),
+                period_slots=100,
+                size_slots=1,
+                phase_slots=7 * i,
+            )
+        )
+    return conns
+
+
+def test_s1_miss_ratio_vs_load(run_once, benchmark):
+    n = 8
+
+    def sweep():
+        rows = []
+        for hot_u in (0.1, 0.2, 0.4, 0.6, 0.8):
+            conns = hot_node_workload(n, hot_u)
+            total_u = sum(c.utilisation for c in conns)
+            miss = {}
+            for proto in PROTOCOLS:
+                config = ScenarioConfig(
+                    n_nodes=n,
+                    protocol=proto,
+                    connections=tuple(conns),
+                    drop_late=True,
+                )
+                report = run_scenario(config, n_slots=20_000)
+                rt = report.class_stats(TrafficClass.RT_CONNECTION)
+                miss[proto] = rt.deadline_miss_ratio
+            rows.append(
+                (hot_u, total_u, miss["ccr-edf"], miss["upper-edf"],
+                 miss["ccfpr"], miss["tdma"])
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S1: deadline-miss ratio vs hot-node load (N=8, asymmetric)",
+        ["hot U", "total U", "ccr-edf", "upper-edf", "ccfpr", "tdma"],
+        rows,
+    )
+    # Shape: CCR-EDF clean everywhere; rotation protocols degrade as the
+    # hot node's demand exceeds their per-node 1/N guarantee.
+    for row in rows:
+        assert row[2] == 0.0, "CCR-EDF must not miss on feasible loads"
+    assert rows[-1][4] > 0.3, "CC-FPR must collapse at hot U=0.8"
+    assert rows[-1][5] > 0.3, "TDMA must collapse at hot U=0.8"
+    assert rows[0][4] == 0.0, "CC-FPR handles hot U=0.1 (<= 1/N)"
+    benchmark.extra_info["points"] = len(rows)
+
+
+def test_s1_random_symmetric_loads(run_once, benchmark):
+    """Symmetric random workloads: the gentler comparison."""
+    from repro.traffic.periodic import random_connection_set
+    from repro.traffic.sweeps import scale_connections_to_utilisation
+
+    def sweep():
+        rng = np.random.default_rng(2024)
+        base = random_connection_set(rng, 8, 16, 0.5, period_range=(20, 200))
+        rows = []
+        for target in (0.3, 0.5, 0.7, 0.9):
+            conns = scale_connections_to_utilisation(base, target)
+            miss = {}
+            for proto in PROTOCOLS:
+                config = ScenarioConfig(
+                    n_nodes=8,
+                    protocol=proto,
+                    connections=tuple(conns),
+                    drop_late=True,
+                )
+                report = run_scenario(config, n_slots=20_000)
+                miss[proto] = report.class_stats(
+                    TrafficClass.RT_CONNECTION
+                ).deadline_miss_ratio
+            rows.append(
+                (target, miss["ccr-edf"], miss["upper-edf"], miss["ccfpr"],
+                 miss["tdma"])
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S1b: deadline-miss ratio vs load (N=8, symmetric random)",
+        ["total U", "ccr-edf", "upper-edf", "ccfpr", "tdma"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] == 0.0
+    benchmark.extra_info["points"] = len(rows)

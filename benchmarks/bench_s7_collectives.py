@@ -1,0 +1,105 @@
+"""Experiment S7 -- barrier synchronisation and global reduction cost.
+
+The parallel-processing services of Sections 1/7: completion cost in
+slots versus participant count, on an idle ring and under guaranteed
+background load.
+"""
+
+import operator
+
+from conftest import print_table
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.api import MessageInjector
+from repro.services.barrier import BarrierCoordinator
+from repro.services.reduction import GlobalReduction
+from repro.sim.engine import Simulation
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(n, background_u=0.0):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    injectors = {i: MessageInjector(i) for i in range(n)}
+    sources = list(injectors.values())
+    if background_u > 0:
+        # Spread background_u of total utilisation evenly over the nodes:
+        # each node sends 3 slots per period, period sized so that the
+        # sum over n connections hits the target.
+        size = 3
+        period = max(size, round(n * size / background_u))
+        for i in range(n):
+            sources.append(
+                ConnectionSource(
+                    LogicalRealTimeConnection(
+                        source=i,
+                        destinations=frozenset([(i + 2) % n]),
+                        period_slots=period,
+                        size_slots=size,
+                        phase_slots=(i * period) // n,
+                    )
+                )
+            )
+    sim = Simulation(timing, CcrEdfProtocol(topology), sources=sources)
+    return sim, injectors
+
+
+def test_s7_barrier_cost_vs_participants(run_once, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16):
+            sim, injectors = build(n)
+            barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+            idle = barrier.execute(range(n)).slots
+            sim_bg, injectors_bg = build(n, background_u=0.3)
+            barrier_bg = BarrierCoordinator(sim_bg, injectors_bg, coordinator=0)
+            loaded = barrier_bg.execute(range(n)).slots
+            rows.append((n, idle, loaded))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S7: barrier completion cost [slots], idle vs 30% background",
+        ["N participants", "idle ring", "loaded ring"],
+        rows,
+    )
+    idle_costs = [r[1] for r in rows]
+    assert idle_costs == sorted(idle_costs), "cost grows with N"
+    for n, idle, loaded in rows:
+        assert loaded >= idle
+        # Gather phase reuses segments: far better than 2N serial slots.
+        assert idle <= 2 * n + 6
+    benchmark.extra_info["barrier_n16_idle"] = rows[-1][1]
+
+
+def test_s7_reduction_cost_and_correctness(run_once, benchmark):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16):
+            sim, injectors = build(n)
+            service = GlobalReduction(sim, injectors)
+            result = service.execute(
+                {i: i * i for i in range(n)}, operator.add
+            )
+            expected = sum(i * i for i in range(n))
+            rows.append((n, result.slots, result.value, expected))
+        return rows
+
+    rows = run_once(sweep)
+    print_table(
+        "S7b: pipelined ring all-reduce (sum of squares)",
+        ["N participants", "slots", "value", "expected"],
+        rows,
+    )
+    for n, slots, value, expected in rows:
+        assert value == expected
+        # Reduce phase is inherently serial (k-1 dependent hops) plus the
+        # broadcast: about 2 slots per hop through the pipeline.
+        assert slots <= 3 * n + 6
+    costs = [r[1] for r in rows]
+    assert costs == sorted(costs)
+    benchmark.extra_info["reduce_n16_slots"] = rows[-1][1]

@@ -1,0 +1,63 @@
+"""Experiment T1 -- Table 1: allocation of priority levels to services.
+
+Regenerates the paper's only table and verifies the implementation's
+allocation matches it level for level, including the laxity mapping's
+use of each class band.
+"""
+
+from conftest import print_table
+
+from repro.core.mapping import LogarithmicMapping
+from repro.core.priorities import (
+    TrafficClass,
+    class_priority_range,
+    priority_to_class,
+)
+
+
+PAPER_TABLE_1 = [
+    (0, 0, "Nothing to send"),
+    (1, 1, "Non-Real Time"),
+    (2, 16, "Best Effort"),
+    (17, 31, "Logical real-time connection"),
+]
+
+
+def test_t1_priority_table(run_once, benchmark):
+    def build_rows():
+        rows = []
+        for lo, hi, service in PAPER_TABLE_1:
+            levels = f"{lo}" if lo == hi else f"{lo}-{hi}"
+            measured = []
+            for p in range(lo, hi + 1):
+                cls = priority_to_class(p)
+                measured.append("none" if cls is None else cls.name)
+            assert len(set(measured)) == 1, f"band {levels} is not uniform"
+            rows.append((levels, service, measured[0]))
+        return rows
+
+    rows = run_once(build_rows)
+    print_table(
+        "T1: Table 1 -- priority level allocation (paper vs implementation)",
+        ["Levels", "Paper service", "Implementation class"],
+        rows,
+    )
+
+    # Cross-check the class ranges used by the mapping machinery.
+    assert class_priority_range(TrafficClass.NON_REAL_TIME) == (1, 1)
+    assert class_priority_range(TrafficClass.BEST_EFFORT) == (2, 16)
+    assert class_priority_range(TrafficClass.RT_CONNECTION) == (17, 31)
+
+    # "A higher priority within the traffic class implies shorter laxity":
+    # show the logarithmic mapping's bucket table for the RT band.
+    mapping = LogarithmicMapping()
+    bucket_rows = []
+    for p in range(31, 16, -1):
+        lo_b, hi_b = mapping.bucket_bounds(p, TrafficClass.RT_CONNECTION)
+        bucket_rows.append((p, lo_b, "inf" if hi_b is None else hi_b))
+    print_table(
+        "T1b: logarithmic laxity -> RT priority buckets (slots)",
+        ["Priority", "Laxity from", "Laxity to"],
+        bucket_rows,
+    )
+    benchmark.extra_info["bands_verified"] = len(PAPER_TABLE_1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Runtime connection management through the admission-control node.
+
+Section 6's full dialogue, measured in real network slots: a node that
+wants a guaranteed connection sends a best-effort request to the
+designated admission node, the Eq. (5) test runs there, the reply comes
+back, and only then does guaranteed traffic start flowing.  Connections
+are later torn down, freeing capacity for requests that were previously
+rejected.
+
+Run:  python examples/admission_runtime.py
+"""
+
+from repro import ScenarioConfig, TrafficClass
+from repro.core.admission import AdmissionController
+from repro.core.connection import LogicalRealTimeConnection
+from repro.services.api import ConnectionClient, MessageInjector
+from repro.sim.runner import build_simulation, make_timing
+
+N_NODES = 8
+ADMISSION_NODE = 0
+
+
+def main() -> None:
+    config = ScenarioConfig(n_nodes=N_NODES)
+    timing = make_timing(config)
+    injectors = {i: MessageInjector(i) for i in range(N_NODES)}
+    sim = build_simulation(config, extra_sources=list(injectors.values()))
+    controller = AdmissionController(timing)
+    client = ConnectionClient(sim, controller, ADMISSION_NODE, injectors)
+
+    print(f"Admission node: {ADMISSION_NODE}; U_max = {controller.u_max:.3f}\n")
+
+    # ------------------------------------------------------------------
+    # Phase 1: nodes request connections at runtime.
+    # ------------------------------------------------------------------
+    requests = [
+        LogicalRealTimeConnection(1, frozenset([4]), period_slots=10, size_slots=3),
+        LogicalRealTimeConnection(3, frozenset([7]), period_slots=20, size_slots=6),
+        LogicalRealTimeConnection(5, frozenset([2]), period_slots=8, size_slots=2),
+        LogicalRealTimeConnection(6, frozenset([1]), period_slots=10, size_slots=2),
+        # This one should be rejected: it would push U past U_max.
+        LogicalRealTimeConnection(2, frozenset([6]), period_slots=10, size_slots=3),
+    ]
+    decisions = {}
+    print("Phase 1 -- runtime set-up (costs are real network slots)")
+    for conn in requests:
+        decision, cost = client.open(conn)
+        decisions[conn.connection_id] = (conn, decision)
+        print(
+            f"  node {conn.source} requests U={conn.utilisation:.3f}: "
+            f"{'ACCEPTED' if decision.accepted else 'REJECTED':8s} "
+            f"signalling cost {cost:3d} slots   "
+            f"U(Ma)={controller.utilisation:.3f}"
+        )
+
+    # Let the admitted traffic run for a while.
+    sim.run(5_000)
+    rt = sim.report.class_stats(TrafficClass.RT_CONNECTION)
+    print(f"\nAfter 5000 slots: {rt.delivered} RT messages delivered, "
+          f"{rt.deadline_missed} missed")
+
+    # ------------------------------------------------------------------
+    # Phase 2: tear one connection down, then retry the rejected one.
+    # ------------------------------------------------------------------
+    victim = requests[1]  # node 3's U=0.3 connection
+    cost = client.close(victim.connection_id)
+    print(f"\nPhase 2 -- node {victim.source} closes its connection "
+          f"(cost {cost} slots); U(Ma)={controller.utilisation:.3f}")
+
+    retry = LogicalRealTimeConnection(
+        2, frozenset([6]), period_slots=10, size_slots=3
+    )
+    decision, cost = client.open(retry)
+    print(
+        f"  node 2 retries U={retry.utilisation:.3f}: "
+        f"{'ACCEPTED' if decision.accepted else 'REJECTED'} "
+        f"(cost {cost} slots)  U(Ma)={controller.utilisation:.3f}"
+    )
+
+    sim.run(5_000)
+    rt = sim.report.class_stats(TrafficClass.RT_CONNECTION)
+    print(f"\nFinal tally after {sim.current_slot} slots: "
+          f"{rt.delivered}/{rt.released} delivered, "
+          f"{rt.deadline_missed} missed deadlines")
+    assert rt.deadline_missed == 0
+    assert decision.accepted, "freed capacity must admit the retry"
+    print("\nEvery admitted message met its deadline across the churn; the")
+    print("rejected request succeeded once capacity was freed -- runtime")
+    print("add/remove exactly as Section 6 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fault tolerance: clock-loss recovery and node failure (Section 8).
+
+The paper's future work sketches the remedy for a lost clock token:
+"using a time out and a designated node that always will start could
+solve this".  This example exercises the implemented recovery on a
+running network:
+
+1. distribution packets are lost at several points -- each loss costs
+   one voided slot plus one timeout before the designated node restarts
+   the clock;
+2. a node fail-stops mid-run -- its traffic disappears, everyone else's
+   guarantee is untouched, and mastership falls back to the designated
+   node whenever the dead node would have clocked.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import ScenarioConfig, TrafficClass
+from repro.core.connection import LogicalRealTimeConnection
+from repro.sim.faults import FaultInjector
+from repro.sim.runner import build_simulation, make_timing
+
+N_NODES = 8
+HORIZON = 40_000
+FAIL_SLOT = 20_000
+
+
+def workload():
+    """Every node runs one guaranteed connection (total U = 0.5)."""
+    return tuple(
+        LogicalRealTimeConnection(
+            source=i,
+            destinations=frozenset([(i + 3) % N_NODES]),
+            period_slots=2 * N_NODES,
+            size_slots=1,
+            phase_slots=2 * i,
+        )
+        for i in range(N_NODES)
+    )
+
+
+def run(faults=None):
+    config = ScenarioConfig(n_nodes=N_NODES, connections=workload())
+    sim = build_simulation(config, faults=faults)
+    sim.run(HORIZON)
+    return sim
+
+
+def main() -> None:
+    timing = make_timing(ScenarioConfig(n_nodes=N_NODES))
+    timeout = 10 * timing.max_handover_time_s
+    print(f"Network: {N_NODES} nodes; recovery timeout "
+          f"{timeout * 1e6:.1f} us (10x the worst hand-over gap)\n")
+
+    # ------------------------------------------------------------------
+    # Baseline: a clean run.
+    # ------------------------------------------------------------------
+    clean = run()
+    rt = clean.report.class_stats(TrafficClass.RT_CONNECTION)
+    print("Clean run")
+    print(f"  packets {clean.report.packets_sent}, "
+          f"missed {rt.deadline_missed}, "
+          f"gap time {clean.report.gap_time_s * 1e6:.1f} us")
+
+    # ------------------------------------------------------------------
+    # Scenario 1: the clock token is lost 25 times.
+    # ------------------------------------------------------------------
+    losses = frozenset(range(1000, HORIZON, 1600))
+    faults = FaultInjector(
+        control_loss_slots=losses, recovery_timeout_s=timeout
+    )
+    lossy = run(faults)
+    rt = lossy.report.class_stats(TrafficClass.RT_CONNECTION)
+    print(f"\nScenario 1: {len(losses)} lost distribution packets")
+    print(f"  packets {lossy.report.packets_sent} "
+          f"(clean run minus <= {2 * len(losses)})")
+    print(f"  missed deadlines {rt.deadline_missed} "
+          "(slack absorbed every recovery)")
+    print(f"  extra gap time "
+          f"{(lossy.report.gap_time_s - clean.report.gap_time_s) * 1e6:.1f} us "
+          f"(= {len(losses)} timeouts)")
+
+    # ------------------------------------------------------------------
+    # Scenario 2: node 3 fail-stops mid-run.
+    # ------------------------------------------------------------------
+    faults = FaultInjector(
+        node_failures={3: FAIL_SLOT}, recovery_timeout_s=timeout
+    )
+    failed = run(faults)
+    report = failed.report
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    per_node = HORIZON // (2 * N_NODES)
+    expected = N_NODES * (FAIL_SLOT // (2 * N_NODES)) + (N_NODES - 1) * (
+        (HORIZON - FAIL_SLOT) // (2 * N_NODES)
+    )
+    print(f"\nScenario 2: node 3 dies at slot {FAIL_SLOT}")
+    print(f"  released {rt.released} (expected ~{expected}: node 3's "
+          "second-half traffic is gone)")
+    print(f"  missed deadlines {rt.deadline_missed} "
+          "(survivors fully guaranteed)")
+    print(f"  designated node 0 clocked {report.master_slots[0]} slots; "
+          f"dead node 3 clocked {report.master_slots[3]} "
+          "(all before the failure)")
+
+    assert rt.deadline_missed == 0
+    print("\nBoth failure modes recovered exactly as the paper's Section 8"
+          "\nsketch prescribes: a timeout, then the designated node restarts"
+          "\nthe clock; guarantees of surviving traffic were never violated.")
+
+
+if __name__ == "__main__":
+    main()

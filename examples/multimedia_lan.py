@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A distributed multimedia LAN on CCR-EDF.
+
+The second application domain the paper names: video and audio streams
+with hard per-frame deadlines, admitted at runtime through the
+designated admission-control node, alongside bursty best-effort file
+transfers.  Stream parameters are specified in *wall-clock* terms
+(frames per second, bytes per frame) and converted to slot-domain
+connections with the pessimistic Equation (5) conversion, so meeting
+slot deadlines implies meeting the wall-clock ones under any hand-over
+gap sequence.
+
+Run:  python examples/multimedia_lan.py
+"""
+
+import numpy as np
+
+from repro import ScenarioConfig, TrafficClass
+from repro.analysis.schedulability import wall_clock_connection
+from repro.core.admission import AdmissionController
+from repro.sim.runner import build_simulation, make_timing
+from repro.traffic.poisson import BurstySource
+
+N_NODES = 8
+
+
+def main() -> None:
+    config = ScenarioConfig(n_nodes=N_NODES)
+    timing = make_timing(config)
+    slot_us = timing.slot_length_s * 1e6
+    print(f"Network: {N_NODES} nodes, slot {slot_us:.2f} us, "
+          f"U_max {timing.u_max:.3f}\n")
+
+    # ------------------------------------------------------------------
+    # Wall-clock stream specs -> slot-domain connections.
+    # ------------------------------------------------------------------
+    specs = [
+        # (name, source, sinks, period_s, bytes per message)
+        ("video-1 25fps", 0, {3}, 1 / 25, 48 * 1024),
+        ("video-2 25fps", 1, {5, 7}, 1 / 25, 48 * 1024),   # multicast
+        ("video-3 30fps", 4, {2}, 1 / 30, 32 * 1024),
+        ("audio-1 20ms", 2, {6}, 0.020, 640),
+        ("audio-2 20ms", 6, {0}, 0.020, 640),
+        ("sensor 5ms", 7, {1}, 0.005, 512),
+    ]
+    controller = AdmissionController(timing)
+    admitted = []
+    print("Stream admission (wall-clock specs, Eq. 5 conversion)")
+    for name, src, sinks, period_s, nbytes in specs:
+        conn = wall_clock_connection(
+            source=src,
+            destinations=frozenset(sinks),
+            period_s=period_s,
+            message_bytes=nbytes,
+            timing=timing,
+        )
+        decision = controller.request(conn)
+        print(
+            f"  {name:14s} {src}->{sorted(sinks)}  "
+            f"P={conn.period_slots:5d} slots  e={conn.size_slots:3d}  "
+            f"U={conn.utilisation:.4f}  "
+            f"{'ACCEPTED' if decision.accepted else 'REJECTED'}"
+        )
+        if decision.accepted:
+            admitted.append(conn)
+    print(f"  total guaranteed utilisation: {controller.utilisation:.3f}\n")
+
+    # ------------------------------------------------------------------
+    # Best-effort background: bursty file transfers from every node.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(7)
+    background = [
+        BurstySource(
+            node=i,
+            n_nodes=N_NODES,
+            rng=rng,
+            mean_on_slots=20,
+            mean_off_slots=400,
+            size_slots=2,
+            relative_deadline_slots=2000,
+        )
+        for i in range(N_NODES)
+    ]
+
+    config = ScenarioConfig(n_nodes=N_NODES, connections=tuple(admitted))
+    sim = build_simulation(config, extra_sources=background)
+    n_slots = 200_000
+    report = sim.run(n_slots)
+
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    be = report.class_stats(TrafficClass.BEST_EFFORT)
+    print(f"Simulation ({n_slots} slots = "
+          f"{report.wall_time_s * 1e3:.0f} ms wall time)")
+    print(f"  media messages: {rt.delivered}/{rt.released} delivered, "
+          f"{rt.deadline_missed} missed "
+          f"(ratio {rt.deadline_miss_ratio:.4f})")
+    print(f"  media latency : mean {rt.mean_latency_slots:.1f} / "
+          f"p99 {rt.latency_percentile(99):.0f} / "
+          f"max {rt.max_latency_slots} slots")
+    print(f"  file transfer : {be.delivered}/{be.released} delivered "
+          f"(miss ratio {be.deadline_miss_ratio:.4f})")
+    print(f"  reuse factor  : {report.spatial_reuse_factor:.2f}")
+    assert rt.deadline_missed == 0
+    print("\nEvery admitted frame and audio packet met its wall-clock "
+          "deadline\nwhile bursty file transfers filled the leftover "
+          "bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

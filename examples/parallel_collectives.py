@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Parallel-processing services: barriers, global reduction, short messages.
+
+The services of Sections 1/7 in a realistic bulk-synchronous-parallel
+loop: compute phases separated by barriers, a global reduction combining
+per-node partial results each iteration, short status flags riding the
+control channel for free, and a lossy fibre handled by the reliable
+transmission service.
+
+Run:  python examples/parallel_collectives.py
+"""
+
+import operator
+
+import numpy as np
+
+from repro import ScenarioConfig
+from repro.services.api import MessageInjector
+from repro.services.barrier import BarrierCoordinator
+from repro.services.reduction import GlobalReduction
+from repro.services.reliable import PacketLossModel, ReliableStats
+from repro.services.shortmsg import ShortMessageService
+from repro.sim.runner import build_simulation
+
+N_NODES = 8
+ITERATIONS = 10
+LOSS_P = 0.02
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    injectors = {i: MessageInjector(i) for i in range(N_NODES)}
+    config = ScenarioConfig(n_nodes=N_NODES)
+    sim = build_simulation(
+        config,
+        extra_sources=list(injectors.values()),
+        loss_model=PacketLossModel(LOSS_P, np.random.default_rng(5)),
+    )
+    barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+    reducer = GlobalReduction(sim, injectors)
+    shortmsg = ShortMessageService(capacity_bits=192)
+
+    # Each node holds a partial result; the "computation" refines it
+    # every iteration, and the loop reduces with max (convergence check).
+    partials = rng.random(N_NODES)
+
+    print(f"BSP loop on {N_NODES} nodes, {ITERATIONS} iterations, "
+          f"{LOSS_P:.0%} packet loss\n")
+    print(f"{'iter':4s}  {'barrier':>7s}  {'reduce':>7s}  "
+          f"{'global max':>10s}  {'flags':>5s}")
+
+    barrier_costs, reduce_costs = [], []
+    for it in range(ITERATIONS):
+        # Compute phase: refine local partials (pure local work).
+        partials = partials * 0.9 + rng.random(N_NODES) * 0.1
+
+        # Status flags via the control channel (free of data slots).
+        for node in range(N_NODES):
+            shortmsg.submit(node, 0, payload_bits=8, slot=sim.current_slot)
+        flags = len(shortmsg.step(sim.current_slot))
+
+        # Barrier: everyone waits for everyone.
+        b = barrier.execute(range(N_NODES))
+        barrier_costs.append(b.slots)
+
+        # Global reduction: max of the partial results, all nodes learn it.
+        r = reducer.execute(
+            {i: float(partials[i]) for i in range(N_NODES)}, max
+        )
+        reduce_costs.append(r.slots)
+        expected = float(partials.max())
+        assert r.value == expected
+
+        print(f"{it:4d}  {b.slots:7d}  {r.slots:7d}  {r.value:10.6f}  "
+              f"{flags:5d}")
+
+    stats = ReliableStats.from_simulation(sim)
+    print(f"\nTotals over {sim.current_slot} slots "
+          f"({sim.report.wall_time_s * 1e6:.0f} us wall time)")
+    print(f"  mean barrier cost : {np.mean(barrier_costs):.1f} slots")
+    print(f"  mean reduce cost  : {np.mean(reduce_costs):.1f} slots")
+    print(f"  packets lost/retransmitted: {stats.packets_lost} "
+          f"(goodput {stats.goodput_fraction:.3f})")
+    print(f"  short messages delivered  : {len(shortmsg.delivered)} "
+          "(zero data slots consumed)")
+    print("\nEvery reduction returned the exact global maximum despite the")
+    print("lossy fibre -- the piggybacked-ack reliable service at work.")
+
+
+if __name__ == "__main__":
+    main()

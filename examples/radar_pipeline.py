@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Radar signal processing on a CCR-EDF ring (the paper's motivating app).
+
+A radar processing chain (beamforming -> pulse compression -> Doppler
+filtering -> envelope detection -> CFAR -> extraction) mapped onto an
+8-node ring: each stage streams its output cube to the next stage every
+coherent processing interval (CPI), with a feedback connection from the
+extractor back to the front end.  All inter-stage streams are hard
+real-time: a cube that misses its CPI is useless.
+
+The example compares CCR-EDF against CC-FPR on the identical pipeline --
+the heavy front-end streams exceed CC-FPR's per-node worst-case
+guarantee, and best-effort health monitoring traffic runs alongside
+without disturbing the pipeline.
+
+Run:  python examples/radar_pipeline.py
+"""
+
+import numpy as np
+
+from repro import ScenarioConfig, TrafficClass, run_scenario
+from repro.analysis.pessimism import ccfpr_node_feasible
+from repro.sim.runner import make_timing
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.radar import radar_pipeline_connections
+
+N_NODES = 8
+CPI_SLOTS = 400          # one coherent processing interval
+INPUT_VOLUME_SLOTS = 100  # slots to move one full data cube
+
+
+def main() -> None:
+    conns = radar_pipeline_connections(
+        n_nodes=N_NODES,
+        cpi_slots=CPI_SLOTS,
+        input_volume_slots=INPUT_VOLUME_SLOTS,
+    )
+    # An urgent control stream rides on top of the bulk pipeline: antenna
+    # steering commands from the front end to the beam controller, due
+    # within 6 slots -- *shorter than one master rotation* (N = 8), the
+    # regime in which rotation-based protocols have no guarantee at all.
+    from repro.core.connection import LogicalRealTimeConnection
+
+    steering = LogicalRealTimeConnection(
+        source=0, destinations=frozenset([5]), period_slots=6, size_slots=1
+    )
+    conns = conns + [steering]
+    stages = [
+        "beamform", "pulse-comp", "doppler", "envelope", "cfar", "feedback",
+        "steering",
+    ]
+    print("Radar pipeline connections (period = CPI = "
+          f"{CPI_SLOTS} slots; steering period = 6 slots)")
+    for name, c in zip(stages, conns):
+        print(
+            f"  {name:10s} node {c.source} -> {sorted(c.destinations)}  "
+            f"{c.size_slots:4d} slots/CPI  U={c.utilisation:.3f}"
+        )
+    total_u = sum(c.utilisation for c in conns)
+    print(f"  total utilisation: {total_u:.3f}")
+
+    # ------------------------------------------------------------------
+    # Analytical verdicts.
+    # ------------------------------------------------------------------
+    timing = make_timing(ScenarioConfig(n_nodes=N_NODES))
+    print("\nAnalytical admission")
+    print(f"  CCR-EDF (Eq. 5, pooled): U={total_u:.3f} <= "
+          f"U_max={timing.u_max:.3f}?  "
+          f"{'YES' if timing.edf_feasible(conns) else 'NO'}")
+    front_end = [c for c in conns if c.source == 0]
+    print(f"  CC-FPR per-node bound (1/N = {1 / N_NODES:.3f}): front-end "
+          f"U={sum(c.utilisation for c in front_end):.3f} guaranteed?  "
+          f"{'YES' if ccfpr_node_feasible(front_end, N_NODES) else 'NO'}"
+          f"  (steering deadline 6 < rotation {N_NODES}: no guarantee)")
+
+    # ------------------------------------------------------------------
+    # Simulate both protocols, plus best-effort health monitoring.
+    # ------------------------------------------------------------------
+    print("\nSimulation (20 CPIs, with best-effort health telemetry)")
+    for proto in ("ccr-edf", "ccfpr"):
+        rng = np.random.default_rng(42)
+        monitors = [
+            PoissonSource(
+                node=i,
+                n_nodes=N_NODES,
+                rate_per_slot=0.02,
+                traffic_class=TrafficClass.BEST_EFFORT,
+                rng=rng,
+                relative_deadline_slots=200,
+                destinations=[N_NODES - 1],  # health station
+            )
+            for i in range(N_NODES - 1)
+        ]
+        config = ScenarioConfig(
+            n_nodes=N_NODES,
+            protocol=proto,
+            connections=tuple(conns),
+            drop_late=True,
+        )
+        report = run_scenario(
+            config, n_slots=20 * CPI_SLOTS, extra_sources=monitors
+        )
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        be = report.class_stats(TrafficClass.BEST_EFFORT)
+        print(
+            f"  {proto:8s}  cubes released {rt.released:4d}  "
+            f"missed CPI {rt.deadline_missed:4d} "
+            f"(ratio {rt.deadline_miss_ratio:.3f})  "
+            f"telemetry delivered {be.delivered}/{be.released}"
+        )
+
+    print(
+        "\nShape check: both protocols move the bulk cubes in the average"
+        "\ncase, but the 6-slot steering commands -- tighter than one master"
+        "\nrotation -- miss under CC-FPR's rotating clock break and sail"
+        "\nthrough under CCR-EDF: the paper's Section 1 argument that simple"
+        "\nclocking is unsuitable for hard real-time traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

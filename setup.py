@@ -1,0 +1,11 @@
+"""Setup shim for legacy (non-PEP-517) installs.
+
+The repository deliberately ships no pyproject.toml: its presence makes
+pip enable build isolation, which tries to download setuptools and fails
+in offline environments.  With only setup.cfg (metadata, pytest config)
+and this shim, `pip install -e .` uses the setuptools already installed.
+"""
+
+from setuptools import setup
+
+setup()

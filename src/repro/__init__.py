@@ -1,0 +1,59 @@
+"""CCR-EDF: fibre-ribbon ring network with inherent EDF message scheduling.
+
+A complete reproduction of Bergenhem & Jonsson, "Fibre-Ribbon Ring Network
+with Inherent Support for Earliest Deadline First Message Scheduling"
+(IPDPS 2002): the network architecture, the two-phase TCMA medium access
+protocol with clock hand-over to the highest-priority node, the timing and
+schedulability analysis (Equations 1-6), runtime admission control, the
+user services (guaranteed connections, best-effort, non-real-time,
+barrier synchronisation, global reduction, reliable transmission), a
+slot-level simulator, and the baseline protocols the paper argues against.
+
+Quickstart::
+
+    from repro import ScenarioConfig, TrafficClass, run_scenario
+    from repro.core import LogicalRealTimeConnection
+
+    conn = LogicalRealTimeConnection(
+        source=0, destinations=frozenset([3]), period_slots=10, size_slots=2
+    )
+    config = ScenarioConfig(n_nodes=8, connections=(conn,))
+    report = run_scenario(config, n_slots=10_000)
+    print(report.class_stats(TrafficClass.RT_CONNECTION).deadline_miss_ratio)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record.
+"""
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.engine import Simulation
+from repro.sim.metrics import SimulationReport
+from repro.sim.runner import ScenarioConfig, build_simulation, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "LogicalRealTimeConnection",
+    "Message",
+    "MessageStatus",
+    "TrafficClass",
+    "CcrEdfProtocol",
+    "NetworkTiming",
+    "FibreRibbonLink",
+    "RingTopology",
+    "Simulation",
+    "SimulationReport",
+    "ScenarioConfig",
+    "build_simulation",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Schedulability and timing analysis.
+
+* :mod:`repro.analysis.schedulability` -- the Equation (5)/(6) admission
+  mathematics in both the slot domain and the wall-clock domain, plus the
+  exact processor-demand (demand-bound-function) test that extends the
+  utilisation test to constrained deadlines;
+* :mod:`repro.analysis.pessimism` -- the worst-case guarantee of the
+  CC-FPR baseline (the per-node 1/N bound whose pessimism, shown in
+  ref. [5], motivates CCR-EDF);
+* :mod:`repro.analysis.bounds` -- per-protocol worst-case latency bounds.
+"""
+
+from repro.analysis.schedulability import (
+    demand_bound_function,
+    hyperperiod,
+    processor_demand_test,
+    slots_for_wall_period,
+    slot_domain_utilisation,
+    wall_clock_connection,
+    wall_clock_feasible,
+)
+from repro.analysis.pessimism import (
+    ccfpr_guaranteed_slots,
+    ccfpr_node_feasible,
+    ccfpr_worst_case_node_utilisation,
+    pessimism_ratio,
+)
+from repro.analysis.response_time import (
+    edf_worst_case_response_slots,
+    synchronous_busy_period,
+)
+from repro.analysis.schedule_table import ScheduleTable, build_edf_table
+from repro.analysis.planning import (
+    admissible_headroom,
+    max_message_size,
+    max_ring_length,
+    min_period_for_size,
+    required_slot_payload,
+)
+from repro.analysis.optimal_grants import (
+    greedy_priority_grant_count,
+    max_compatible_requests,
+)
+from repro.analysis.bounds import (
+    ccr_edf_access_bound_slots,
+    ccr_edf_latency_bound_s,
+    ccfpr_access_bound_slots,
+    ccfpr_latency_bound_s,
+    tdma_access_bound_slots,
+)
+
+__all__ = [
+    "demand_bound_function",
+    "hyperperiod",
+    "processor_demand_test",
+    "slots_for_wall_period",
+    "slot_domain_utilisation",
+    "wall_clock_connection",
+    "wall_clock_feasible",
+    "ccfpr_guaranteed_slots",
+    "ccfpr_node_feasible",
+    "ccfpr_worst_case_node_utilisation",
+    "pessimism_ratio",
+    "edf_worst_case_response_slots",
+    "synchronous_busy_period",
+    "ScheduleTable",
+    "build_edf_table",
+    "admissible_headroom",
+    "max_message_size",
+    "max_ring_length",
+    "min_period_for_size",
+    "required_slot_payload",
+    "greedy_priority_grant_count",
+    "max_compatible_requests",
+    "ccr_edf_access_bound_slots",
+    "ccr_edf_latency_bound_s",
+    "ccfpr_access_bound_slots",
+    "ccfpr_latency_bound_s",
+    "tdma_access_bound_slots",
+]

@@ -1,0 +1,68 @@
+"""Per-protocol worst-case access-latency bounds.
+
+Complements the schedulability tests with the message-level bounds the
+paper states (Equations 3 and 4 for CCR-EDF) and their analogues for the
+baselines, so the latency benchmarks can plot measured percentiles
+against hard analytical ceilings.
+"""
+
+from __future__ import annotations
+
+from repro.core.timing import NetworkTiming
+
+
+def ccr_edf_latency_bound_s(timing: NetworkTiming) -> float:
+    """Equation (4): the fixed protocol latency bound of CCR-EDF.
+
+    ``2 * t_slot + t_handover_max``: an arrival just misses the running
+    slot's arbitration (1 slot), the arbitration itself takes 1 slot, and
+    the hand-over gap before the message's slot is at most the full-ring
+    delay.  This bounds the access delay of the *highest-priority* message
+    in the system; lower-priority messages additionally wait their EDF
+    turn (bounded by their deadline once the set is admitted).
+    """
+    return timing.worst_case_latency_s
+
+
+def ccr_edf_access_bound_slots() -> int:
+    """Slot-domain access bound for the globally most urgent message: it
+    transmits no later than 2 slots after arrival (Equation 4's slot
+    component)."""
+    return 2
+
+
+def tdma_access_bound_slots(n_nodes: int) -> int:
+    """Worst-case slots a TDMA owner waits for its next slot.
+
+    An arrival just after the owner's slot started waits the remaining
+    rotation: ``N`` slots of other owners plus the arbitration pipeline's
+    1-slot lead, i.e. ``N + 1`` slots until its packet is on the wire.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    return n_nodes + 1
+
+
+def ccfpr_access_bound_slots(n_nodes: int) -> int:
+    """Worst-case slots before a CC-FPR node is *guaranteed* to transmit.
+
+    The node is only guaranteed access when it books first (it is the
+    next master), which recurs every ``N`` slots; an arrival just after
+    that booking closed waits a full rotation plus the 1-slot arbitration
+    pipeline: ``N + 1`` slots.  (Identical in form to TDMA: under worst-
+    case interference CC-FPR degrades to a token rotation.)
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    return n_nodes + 1
+
+
+def ccfpr_latency_bound_s(timing: NetworkTiming) -> float:
+    """Wall-clock form of :func:`ccfpr_access_bound_slots`.
+
+    CC-FPR's gaps are constant one-link delays, so the bound is
+    ``(N + 1)`` slots paced at ``t_slot + one link delay``.
+    """
+    n = timing.topology.n_nodes
+    one_link_gap = timing.topology.ring_propagation_delay_s / n
+    return (n + 1) * (timing.slot_length_s + one_link_gap)

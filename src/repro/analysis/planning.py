@@ -1,0 +1,135 @@
+"""Capacity planning: what fits, and what network do I need?
+
+Deployment questions the analytical model answers in closed form:
+
+* :func:`admissible_headroom` -- how much guaranteed utilisation is
+  still free on a running network;
+* :func:`max_message_size` -- the largest message a new connection with
+  a given period could be granted;
+* :func:`min_period_for_size` -- the fastest period a message of a
+  given size could sustain;
+* :func:`required_slot_payload` -- the smallest slot payload (i.e. slot
+  length) for which a wall-clock requirement set becomes feasible
+  (longer slots raise ``U_max`` but also coarsen the schedulable unit);
+* :func:`max_ring_length` -- how long the ring's fibre may grow before
+  a requirement set stops fitting (Eq. 6 degrades with length).
+
+All of these are direct consequences of Equations (5) and (6); keeping
+them in one module saves every user from re-deriving the algebra.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+def admissible_headroom(
+    timing: NetworkTiming,
+    admitted: Sequence[LogicalRealTimeConnection] = (),
+) -> float:
+    """Guaranteed utilisation still available: ``U_max - U(admitted)``."""
+    used = sum(c.utilisation for c in admitted)
+    return max(0.0, timing.u_max - used)
+
+
+def max_message_size(
+    timing: NetworkTiming,
+    period_slots: int,
+    admitted: Sequence[LogicalRealTimeConnection] = (),
+) -> int:
+    """Largest ``e`` such that a new ``(e, period)`` connection passes
+    the admission test (0 if nothing fits)."""
+    if period_slots < 1:
+        raise ValueError(f"period must be >= 1 slot, got {period_slots}")
+    headroom = admissible_headroom(timing, admitted)
+    return min(period_slots, int(headroom * period_slots))
+
+
+def min_period_for_size(
+    timing: NetworkTiming,
+    size_slots: int,
+    admitted: Sequence[LogicalRealTimeConnection] = (),
+) -> int | None:
+    """Smallest period a ``size_slots`` message could be admitted with,
+    or ``None`` if no period works (zero headroom)."""
+    if size_slots < 1:
+        raise ValueError(f"size must be >= 1 slot, got {size_slots}")
+    headroom = admissible_headroom(timing, admitted)
+    if headroom <= 0:
+        return None
+    period = -(-size_slots // headroom)  # ceil(size / headroom)
+    period = max(int(period), size_slots)
+    # Integral rounding: nudge up until the test actually passes.
+    while size_slots / period > headroom:
+        period += 1
+    return period
+
+
+def required_slot_payload(
+    requirements: Sequence[tuple[float, int]],
+    topology: RingTopology,
+    link: FibreRibbonLink | None = None,
+    payload_candidates: Sequence[int] = (128, 256, 512, 1024, 2048, 4096, 8192),
+) -> int | None:
+    """Smallest slot payload making a wall-clock requirement set feasible.
+
+    ``requirements`` are ``(period_s, message_bytes)`` pairs (Eq. 5's
+    wall-clock form).  Larger payloads amortise the hand-over gap
+    (raising ``U_max``) but stretch the slot; the sweet spot is found by
+    direct search over the candidate sizes.  Returns ``None`` when no
+    candidate works.
+    """
+    from repro.analysis.schedulability import wall_clock_feasible
+    from repro.core.timing import NetworkTiming as _NT
+
+    link = link if link is not None else FibreRibbonLink()
+    for payload in sorted(payload_candidates):
+        timing = _NT(topology=topology, link=link, slot_payload_bytes=payload)
+        if wall_clock_feasible(requirements, timing):
+            return payload
+    return None
+
+
+def max_ring_length(
+    requirements: Sequence[tuple[float, int]],
+    n_nodes: int,
+    link: FibreRibbonLink | None = None,
+    slot_payload_bytes: int = 1024,
+    max_length_m: float = 100_000.0,
+    tolerance_m: float = 1.0,
+) -> float | None:
+    """Longest uniform link length keeping a requirement set feasible.
+
+    Binary search over the link length (U_max falls monotonically with
+    length).  Returns ``None`` if the set is infeasible even on a
+    zero-length ring.
+    """
+    from repro.analysis.schedulability import wall_clock_feasible
+    from repro.core.timing import NetworkTiming as _NT
+
+    link = link if link is not None else FibreRibbonLink()
+
+    def feasible(length_m: float) -> bool:
+        topology = RingTopology.uniform(n_nodes, max(length_m, 1e-9))
+        timing = _NT(
+            topology=topology, link=link, slot_payload_bytes=slot_payload_bytes
+        )
+        return wall_clock_feasible(requirements, timing)
+
+    if not feasible(tolerance_m):
+        return None
+    lo, hi = tolerance_m, max_length_m
+    if feasible(hi):
+        return hi
+    while hi - lo > tolerance_m:
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,142 @@
+"""Offline EDF schedule tables: a third, independent feasibility oracle.
+
+The repository now has three ways to decide whether a synchronous
+periodic connection set is schedulable in the paper's analysis model
+(one guaranteed message-slot per slot):
+
+1. the utilisation / demand-bound test (:mod:`repro.analysis.schedulability`);
+2. the full protocol simulator (:mod:`repro.sim`);
+3. this module -- a direct constructive scheduler that builds the
+   explicit slot-by-slot EDF table over one hyperperiod.
+
+All three must agree; the property test that says so triangulates each
+implementation against the other two.  The table itself is also useful
+on its own: embedded deployments of slotted protocols often burn the
+offline schedule into the nodes instead of arbitrating online, and the
+table is exactly that artefact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.connection import LogicalRealTimeConnection
+
+
+@dataclass(frozen=True)
+class ScheduleTable:
+    """One hyperperiod of an EDF schedule.
+
+    ``slots[k]`` names the connection transmitting in slot ``k + 1``
+    relative to the hyperperiod start (the paper's pipeline: a message
+    released at slot ``t`` occupies transmission slots within
+    ``(t, t + P]``), or ``None`` for an idle slot.
+    """
+
+    hyperperiod_slots: int
+    slots: tuple[int | None, ...]
+    feasible: bool
+    #: (connection_id, release_slot) of the first deadline violation
+    #: encountered, if any.
+    first_violation: tuple[int, int] | None = None
+
+    @property
+    def idle_slots(self) -> int:
+        """Slots in the table assigned to no connection."""
+        return sum(1 for s in self.slots if s is None)
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of table slots carrying a transmission."""
+        if not self.slots:
+            return 0.0
+        return 1.0 - self.idle_slots / len(self.slots)
+
+    def slots_of(self, connection_id: int) -> list[int]:
+        """Transmission slots assigned to one connection (0-based table
+        positions; the wire slot is position + 1)."""
+        return [i for i, s in enumerate(self.slots) if s == connection_id]
+
+
+def build_edf_table(
+    connections: Sequence[LogicalRealTimeConnection],
+    hyperperiods: int = 1,
+) -> ScheduleTable:
+    """Construct the EDF schedule for a *synchronous* set (all phases 0).
+
+    Simulates ideal EDF over ``hyperperiods`` hyperperiods: at each
+    table position, the pending job with the earliest absolute deadline
+    transmits one slot.  Deadline = release + period, per the paper's
+    pipeline accounting (the table position ``k`` corresponds to wire
+    slot ``k + 1``).
+
+    Returns a table flagged infeasible at the first violated deadline
+    (construction continues so the table is always complete).
+    """
+    if not connections:
+        return ScheduleTable(hyperperiod_slots=1, slots=(None,), feasible=True)
+    for c in connections:
+        if c.phase_slots != 0:
+            raise ValueError(
+                "the table builder handles synchronous sets; connection "
+                f"{c.connection_id} has phase {c.phase_slots}"
+            )
+    if hyperperiods < 1:
+        raise ValueError(f"hyperperiods must be >= 1, got {hyperperiods}")
+
+    h = 1
+    for c in connections:
+        h = math.lcm(h, c.period_slots)
+    horizon = h * hyperperiods
+
+    # Ready queue of jobs: (absolute_deadline, connection_id, remaining).
+    ready: list[list] = []
+    table: list[int | None] = []
+    feasible = True
+    first_violation: tuple[int, int] | None = None
+
+    for t in range(horizon):
+        # Releases at slot t (transmittable from table position t).
+        for c in connections:
+            if t % c.period_slots == 0:
+                heapq.heappush(
+                    ready,
+                    [t + c.period_slots, c.connection_id, c.size_slots, t],
+                )
+        # Check for jobs whose deadline has passed (deadline d means the
+        # job may still use table position d - 1).
+        while ready and ready[0][0] <= t and ready[0][2] > 0:
+            deadline, cid, remaining, release = heapq.heappop(ready)
+            if feasible:
+                feasible = False
+                first_violation = (cid, release)
+        # Serve the earliest deadline.
+        while ready and ready[0][2] == 0:
+            heapq.heappop(ready)
+        if ready:
+            ready[0][2] -= 1
+            table.append(ready[0][1])
+            if ready[0][2] == 0:
+                heapq.heappop(ready)
+        else:
+            table.append(None)
+
+    # Work left over at the horizon: every synchronous job's deadline is
+    # at or before the horizon (periods divide it), so any remainder is
+    # a violation the in-loop check has not reached yet.
+    for deadline, cid, remaining, release in sorted(ready):
+        if remaining > 0:
+            if feasible:
+                feasible = False
+                first_violation = (cid, release)
+            break
+
+    return ScheduleTable(
+        hyperperiod_slots=h,
+        slots=tuple(table),
+        feasible=feasible,
+        first_violation=first_violation,
+    )

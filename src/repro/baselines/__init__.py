@@ -1,0 +1,19 @@
+"""Baseline MAC protocols the paper compares against (qualitatively).
+
+* :mod:`repro.baselines.ccfpr` -- CC-FPR (refs [4], [9]): distributed
+  link booking as the control packet passes each node (no global deadline
+  view) and round-robin clock hand-over.  Exhibits both deficiencies the
+  paper criticises: tight-deadline packets lose to upstream bookings, and
+  the rotating clock break preempts urgent messages (priority inversion);
+* :mod:`repro.baselines.upper_edf` -- the "EDF added in an upper layer"
+  hybrid: CCR-EDF's global arbitration but round-robin clocking, isolating
+  the contribution of the clock hand-over strategy;
+* :mod:`repro.baselines.tdma` -- an idealised slotted-TDMA ring (fixed
+  slot ownership), the classic guaranteed-service comparator.
+"""
+
+from repro.baselines.ccfpr import CcFprProtocol
+from repro.baselines.tdma import TdmaProtocol
+from repro.baselines.upper_edf import make_upper_layer_edf
+
+__all__ = ["CcFprProtocol", "TdmaProtocol", "make_upper_layer_edf"]

@@ -1,0 +1,43 @@
+"""The "EDF in an upper layer" hybrid baseline.
+
+Section 1 observes that "other networks may have upper layer protocols
+added to them to give them better characteristics for real-time traffic,
+but it is difficult to achieve fine deadline granularity by using upper
+layer protocols".  The closest realisable point in our design space is a
+ring that runs CCR-EDF's *global* two-phase arbitration (so everyone
+knows the system-wide earliest deadline) but keeps CC-FPR's *round-robin*
+clock hand-over: the scheduler is deadline-aware, yet the clock break
+still rotates blindly and preempts whatever path it lands on.
+
+Comparing this hybrid against full CCR-EDF isolates the paper's core
+claim -- that the hand-over strategy itself, not just global EDF
+ordering, is what removes priority inversion.
+"""
+
+from __future__ import annotations
+
+from repro.core.arbitration import Arbiter
+from repro.core.clocking import RoundRobinHandover
+from repro.core.mapping import LaxityMapping
+from repro.core.protocol import CcrEdfProtocol
+from repro.ring.topology import RingTopology
+
+
+def make_upper_layer_edf(
+    topology: RingTopology,
+    mapping: LaxityMapping | None = None,
+    spatial_reuse: bool = True,
+) -> CcrEdfProtocol:
+    """Global EDF arbitration over round-robin clocking.
+
+    Returns a :class:`~repro.core.protocol.CcrEdfProtocol` configured with
+    :class:`~repro.core.clocking.RoundRobinHandover`: requests are sorted
+    globally by deadline, but mastership rotates downstream every slot and
+    the grant sweep must skip any request crossing the rotating break.
+    """
+    return CcrEdfProtocol(
+        topology=topology,
+        mapping=mapping,
+        arbiter=Arbiter(spatial_reuse=spatial_reuse),
+        handover=RoundRobinHandover(),
+    )

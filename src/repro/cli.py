@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing a script:
+
+* ``info``     -- print the analytical model of a network configuration
+  (Equations 1-6) for given N / link length / payload;
+* ``simulate`` -- run a random periodic workload at a target utilisation
+  on a chosen protocol and print the report;
+* ``compare``  -- run the identical workload on every protocol and print
+  a side-by-side table (the S1-style experiment, one command);
+* ``analyze``  -- admission-test a set of (period, size) connection specs
+  and print per-connection worst-case response times and headroom.
+
+Examples::
+
+    python -m repro info --nodes 16 --link-length 50
+    python -m repro simulate --nodes 8 --utilisation 0.8 --slots 50000
+    python -m repro compare --nodes 8 --utilisation 0.9 --seed 7
+    python -m repro analyze --nodes 8 --spec 10:2 --spec 25:5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.priorities import TrafficClass
+from repro.sim.runner import (
+    PROTOCOLS,
+    ScenarioConfig,
+    make_timing,
+    run_scenario,
+)
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--nodes", type=int, default=8, help="ring size N (default 8)"
+    )
+    parser.add_argument(
+        "--link-length",
+        type=float,
+        default=10.0,
+        metavar="M",
+        help="link length in metres (default 10)",
+    )
+    parser.add_argument(
+        "--payload",
+        type=int,
+        default=1024,
+        metavar="BYTES",
+        help="slot payload in bytes (default 1024)",
+    )
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--utilisation",
+        type=float,
+        default=0.7,
+        metavar="U",
+        help="target total utilisation of the periodic set (default 0.7)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=12,
+        metavar="K",
+        help="number of periodic connections (default 12)",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="slots to simulate (default 20000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--drop-late",
+        action="store_true",
+        help="drop messages that can no longer meet their deadline",
+    )
+    parser.add_argument(
+        "--no-spatial-reuse",
+        action="store_true",
+        help="analysis mode: at most one transmission per slot",
+    )
+
+
+def _build_config(args: argparse.Namespace, protocol: str) -> ScenarioConfig:
+    rng = np.random.default_rng(args.seed)
+    conns = random_connection_set(
+        rng,
+        n_nodes=args.nodes,
+        n_connections=args.connections,
+        total_utilisation=args.utilisation,
+        period_range=(10, 200),
+    )
+    conns = scale_connections_to_utilisation(conns, args.utilisation)
+    return ScenarioConfig(
+        n_nodes=args.nodes,
+        protocol=protocol,
+        link_length_m=args.link_length,
+        slot_payload_bytes=args.payload,
+        spatial_reuse=not args.no_spatial_reuse,
+        drop_late=args.drop_late,
+        connections=tuple(conns),
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """The `info` subcommand: print the analytical model."""
+    config = ScenarioConfig(
+        n_nodes=args.nodes,
+        link_length_m=args.link_length,
+        slot_payload_bytes=args.payload,
+    )
+    t = make_timing(config)
+    print(f"CCR-EDF network: N={args.nodes}, L={args.link_length} m/link, "
+          f"payload {args.payload} B")
+    print(f"  slot length (operating)   : {t.slot_length_s * 1e6:.3f} us")
+    print(f"  min slot length (Eq. 2)   : {t.min_slot_length_s * 1e6:.3f} us")
+    print(f"  worst hand-over (Eq. 1)   : {t.max_handover_time_s * 1e9:.1f} ns")
+    print(f"  worst-case latency (Eq. 4): {t.worst_case_latency_s * 1e6:.3f} us")
+    print(f"  U_max (Eq. 6)             : {t.u_max:.4f}")
+    print(f"  guaranteed data rate      : "
+          f"{t.guaranteed_data_rate_bit_per_s() / 1e9:.3f} Gbit/s")
+    return 0
+
+
+def _print_report(protocol: str, report) -> None:
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    print(f"protocol            : {protocol}")
+    print(f"  slots simulated   : {report.slots_simulated}")
+    print(f"  wall time         : {report.wall_time_s * 1e3:.3f} ms")
+    print(f"  RT released       : {rt.released}")
+    print(f"  RT delivered      : {rt.delivered}")
+    print(f"  RT missed         : {rt.deadline_missed} "
+          f"(ratio {rt.deadline_miss_ratio:.4f})")
+    print(f"  RT mean latency   : {rt.mean_latency_slots:.2f} slots")
+    print(f"  utilisation       : {report.utilisation:.4f}")
+    print(f"  reuse factor      : {report.spatial_reuse_factor:.2f}")
+    print(f"  break denials     : {report.break_denials}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """The `simulate` subcommand: one protocol, one workload."""
+    config = _build_config(args, args.protocol)
+    achieved = sum(c.utilisation for c in config.connections)
+    print(f"workload: {args.connections} connections, "
+          f"U={achieved:.3f} (target {args.utilisation}), seed {args.seed}")
+    report = run_scenario(config, n_slots=args.slots)
+    _print_report(args.protocol, report)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """The `compare` subcommand: all protocols, identical workload."""
+    rows = []
+    for protocol in PROTOCOLS:
+        config = _build_config(args, protocol)
+        report = run_scenario(config, n_slots=args.slots)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        rows.append(
+            (
+                protocol,
+                rt.deadline_miss_ratio,
+                rt.mean_latency_slots,
+                report.utilisation,
+                report.spatial_reuse_factor,
+                report.break_denials,
+            )
+        )
+    achieved = sum(c.utilisation for c in _build_config(args, "ccr-edf").connections)
+    print(f"workload: U={achieved:.3f}, {args.connections} connections, "
+          f"seed {args.seed}, {args.slots} slots\n")
+    header = f"{'protocol':10s} {'miss':>8s} {'latency':>8s} {'util':>7s} {'reuse':>6s} {'breaks':>7s}"
+    print(header)
+    print("-" * len(header))
+    for protocol, miss, lat, util, reuse, breaks in rows:
+        print(
+            f"{protocol:10s} {miss:8.4f} {lat:8.2f} {util:7.4f} "
+            f"{reuse:6.2f} {breaks:7d}"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """The `analyze` subcommand: admission + WCRT for connection specs."""
+    from repro.analysis.response_time import edf_worst_case_response_slots
+    from repro.core.admission import AdmissionController
+    from repro.core.connection import LogicalRealTimeConnection
+
+    config = ScenarioConfig(
+        n_nodes=args.nodes,
+        link_length_m=args.link_length,
+        slot_payload_bytes=args.payload,
+    )
+    timing = make_timing(config)
+    controller = AdmissionController(timing)
+
+    specs = []
+    for raw in args.spec:
+        try:
+            period_s, size_s = raw.split(":")
+            period, size = int(period_s), int(size_s)
+        except ValueError:
+            print(f"bad --spec {raw!r}: expected PERIOD:SIZE in slots")
+            return 2
+        specs.append((period, size))
+
+    conns = []
+    decisions = []
+    for i, (period, size) in enumerate(specs):
+        src = i % args.nodes
+        dst = (src + 1 + i) % args.nodes
+        if dst == src:
+            dst = (src + 1) % args.nodes
+        conn = LogicalRealTimeConnection(
+            source=src,
+            destinations=frozenset([dst]),
+            period_slots=period,
+            size_slots=size,
+        )
+        decisions.append(controller.request(conn))
+        conns.append(conn)
+
+    admitted = [c for c, d in zip(conns, decisions) if d.accepted]
+    print(f"network: N={args.nodes}, U_max={timing.u_max:.4f}")
+    print(f"{'spec':>10s} {'U':>7s} {'admitted':>9s} {'WCRT [slots]':>13s} "
+          f"{'window':>7s}")
+    for conn, decision in zip(conns, decisions):
+        if decision.accepted:
+            wcrt = edf_worst_case_response_slots(admitted, conn.connection_id)
+            wcrt_str = str(wcrt)
+        else:
+            wcrt_str = "-"
+        print(
+            f"{conn.period_slots:>5d}:{conn.size_slots:<4d} "
+            f"{conn.utilisation:7.3f} "
+            f"{'yes' if decision.accepted else 'NO':>9s} "
+            f"{wcrt_str:>13s} {conn.period_slots + 1:>7d}"
+        )
+    print(f"admitted utilisation: {controller.utilisation:.4f} "
+          f"(headroom {controller.u_max - controller.utilisation:.4f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CCR-EDF fibre-ribbon ring network (IPDPS 2002) tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print the analytical network model")
+    _add_network_args(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_sim = sub.add_parser("simulate", help="simulate a random workload")
+    _add_network_args(p_sim)
+    _add_workload_args(p_sim)
+    p_sim.add_argument(
+        "--protocol",
+        choices=PROTOCOLS,
+        default="ccr-edf",
+        help="MAC protocol (default ccr-edf)",
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run the same workload on every protocol"
+    )
+    _add_network_args(p_cmp)
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ana = sub.add_parser(
+        "analyze", help="admission + worst-case response times for specs"
+    )
+    _add_network_args(p_ana)
+    p_ana.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        metavar="PERIOD:SIZE",
+        help="connection spec in slots (repeatable), e.g. --spec 10:2",
+    )
+    p_ana.set_defaults(func=cmd_analyze)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

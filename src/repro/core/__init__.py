@@ -1,0 +1,78 @@
+"""The CCR-EDF protocol core: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.priorities` -- traffic classes and the Table 1
+  allocation of the 5-bit priority field;
+* :mod:`repro.core.mapping` -- laxity (time-until-deadline) to priority
+  mapping functions (the logarithmic map the paper assumes, plus a linear
+  map used for the ablation study);
+* :mod:`repro.core.messages` -- message and packet model;
+* :mod:`repro.core.connection` -- logical real-time connections;
+* :mod:`repro.core.queues` -- per-node, per-class transmit queues with the
+  strict class precedence of Section 3;
+* :mod:`repro.core.timing` -- the timing equations (1)-(6);
+* :mod:`repro.core.arbitration` -- the master's request sorting and the
+  greedy spatial-reuse grant sweep;
+* :mod:`repro.core.clocking` -- clock hand-over strategies (the paper's
+  highest-priority hand-over and the round-robin baseline);
+* :mod:`repro.core.admission` -- runtime admission control over logical
+  real-time connections (Section 6);
+* :mod:`repro.core.protocol` -- the per-slot protocol state machine that
+  ties arbitration, clocking, and queues together.
+"""
+
+from repro.core.priorities import (
+    TrafficClass,
+    PRIO_NOTHING_TO_SEND,
+    PRIO_NON_REAL_TIME,
+    BEST_EFFORT_RANGE,
+    RT_CONNECTION_RANGE,
+    priority_to_class,
+    class_priority_range,
+)
+from repro.core.mapping import (
+    LaxityMapping,
+    LogarithmicMapping,
+    LinearMapping,
+)
+from repro.core.messages import Message, MessageStatus
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.queues import NodeQueues
+from repro.core.timing import NetworkTiming
+from repro.core.arbitration import Arbiter, ArbitrationResult, Grant
+from repro.core.clocking import (
+    ClockHandoverStrategy,
+    EdfHandover,
+    RoundRobinHandover,
+)
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.protocol import CcrEdfProtocol, SlotOutcome
+
+__all__ = [
+    "TrafficClass",
+    "PRIO_NOTHING_TO_SEND",
+    "PRIO_NON_REAL_TIME",
+    "BEST_EFFORT_RANGE",
+    "RT_CONNECTION_RANGE",
+    "priority_to_class",
+    "class_priority_range",
+    "LaxityMapping",
+    "LogarithmicMapping",
+    "LinearMapping",
+    "Message",
+    "MessageStatus",
+    "LogicalRealTimeConnection",
+    "NodeQueues",
+    "NetworkTiming",
+    "Arbiter",
+    "ArbitrationResult",
+    "Grant",
+    "ClockHandoverStrategy",
+    "EdfHandover",
+    "RoundRobinHandover",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CcrEdfProtocol",
+    "SlotOutcome",
+]

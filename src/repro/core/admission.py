@@ -1,0 +1,108 @@
+"""Online centralised admission control (Section 6).
+
+"A specific node in the system is designated to solely handle new logical
+real-time connections added to the system and to remove them when
+required. ... The set Ma contains the logical real-time connections that
+have been tested for feasibility and are accepted.  The admission test is
+as follows.  If the utilisation of the logical real-time connections in Ma
+together with the new connection is below U_max then the new logical
+real-time connection is admitted into Ma. ... If the utilisation of the
+new connection and Ma is higher than U_max then the new logical real-time
+connection is rejected."
+
+Connections "arrive one at a time at any time, even during run time" and
+are assumed well behaved (agreed parameters honoured by the transmitter;
+the simulator's per-node release machinery enforces that by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.timing import NetworkTiming
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of one admission test."""
+
+    accepted: bool
+    connection: LogicalRealTimeConnection
+    #: Utilisation of the accepted set Ma *before* this request.
+    utilisation_before: float
+    #: Utilisation Ma would have with this connection included.
+    utilisation_with: float
+    #: The bound the test compares against (Equation 6).
+    u_max: float
+
+    @property
+    def headroom(self) -> float:
+        """Remaining admissible utilisation after the decision took effect."""
+        base = self.utilisation_with if self.accepted else self.utilisation_before
+        return self.u_max - base
+
+
+class AdmissionController:
+    """The designated admission-control node's logic.
+
+    Holds the accepted set ``Ma`` and applies the Equation (5)/(6) test to
+    every arriving request.  Thread-unsafe by design: the paper serialises
+    all requests through one node, and the simulator honours that.
+    """
+
+    def __init__(self, timing: NetworkTiming):
+        self.timing = timing
+        self._accepted: dict[int, LogicalRealTimeConnection] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def accepted_connections(self) -> tuple[LogicalRealTimeConnection, ...]:
+        """The current set Ma."""
+        return tuple(self._accepted.values())
+
+    @property
+    def utilisation(self) -> float:
+        """Total utilisation of Ma."""
+        return sum(c.utilisation for c in self._accepted.values())
+
+    @property
+    def u_max(self) -> float:
+        """The Equation (6) bound the admission test compares against."""
+        return self.timing.u_max
+
+    def request(self, connection: LogicalRealTimeConnection) -> AdmissionDecision:
+        """Test a new connection; admit it into Ma iff the test passes."""
+        if connection.connection_id in self._accepted:
+            raise ValueError(
+                f"connection {connection.connection_id} is already admitted"
+            )
+        before = self.utilisation
+        with_new = before + connection.utilisation
+        accepted = with_new <= self.u_max
+        if accepted:
+            self._accepted[connection.connection_id] = connection
+        return AdmissionDecision(
+            accepted=accepted,
+            connection=connection,
+            utilisation_before=before,
+            utilisation_with=with_new,
+            u_max=self.u_max,
+        )
+
+    def remove(self, connection_id: int) -> LogicalRealTimeConnection:
+        """Remove a connection from Ma (runtime tear-down), returning it."""
+        try:
+            return self._accepted.pop(connection_id)
+        except KeyError:
+            raise KeyError(
+                f"connection {connection_id} is not in the accepted set"
+            ) from None
+
+    def is_admitted(self, connection_id: int) -> bool:
+        """Whether a connection is currently in the accepted set Ma."""
+        return connection_id in self._accepted
+
+    def __len__(self) -> int:
+        return len(self._accepted)

@@ -1,0 +1,219 @@
+"""The master's arbitration: request sorting and the grant sweep.
+
+Section 3: "When the completed collection phase packet arrives back at the
+master, the requests are processed.  There can only be N requests in the
+master, as each node gets to send one request per slot.  The list of
+requests is sorted in the same way as the local queues.  The master
+traverses the list, starting with the request with highest priority
+(closest to deadline) and then tries to fulfil as many of the N requests
+as possible."  Ties on priority are resolved by node index.
+
+The "tries to fulfil as many as possible" step is the spatial-reuse grant
+sweep: a request is granted iff (a) its reserved links do not overlap the
+links of any already-granted request, and (b) it does not cross the clock
+break of the slot it will transmit in.
+
+The clock break: the next slot is clocked by its master, whose clock
+signal covers only ``N - 1`` hops -- every link except the one *entering*
+the master.  A transmission whose path includes that link is unfeasible in
+that slot ("if the clocking node is in the path of the message, the
+message is unfeasible and cannot be sent during that slot", Section 1).
+Under CCR-EDF the next master *is* the highest-priority requester, whose
+own path can never include the link entering itself -- hence the paper's
+guarantee that the most urgent message is always feasible.  Under the
+round-robin baseline the break lands arbitrarily, producing the priority
+inversion the paper criticises.
+
+The schedulability analysis ignores spatial reuse (only one guaranteed
+grant per slot, Section 5), so the arbiter also supports a single-grant
+analysis mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.priorities import PRIO_NOTHING_TO_SEND
+from repro.phy.packets import CollectionPacket, CollectionRequest, DistributionPacket
+from repro.ring.segments import masks_overlap
+
+
+class BreakPolicy(enum.Enum):
+    """How the grant sweep locates the next slot's clock break."""
+
+    #: The break sits at the highest-priority requester (CCR-EDF: the next
+    #: master is the hp node).
+    AT_HP_NODE = "at_hp_node"
+    #: The break sits at an explicitly given node (round-robin baselines).
+    AT_FIXED_NODE = "at_fixed_node"
+    #: No break is modelled (idealised network; upper bound).
+    NONE = "none"
+
+
+@dataclass(frozen=True, slots=True)
+class Grant:
+    """One granted transmission for the coming slot."""
+
+    #: Node permitted to transmit.
+    node: int
+    #: The request being granted (links it will occupy, destinations).
+    request: CollectionRequest
+
+
+@dataclass(frozen=True, slots=True)
+class ArbitrationResult:
+    """Outcome of one arbitration round.
+
+    ``hp_node`` is the node holding the highest-priority request -- under
+    CCR-EDF, the master of the next slot.  When no node requested
+    anything, the current master retains the clock (``hp_node == master``)
+    and ``grants`` is empty.  ``denied_by_break`` lists nodes whose
+    requests were refused *solely* because their path crossed the next
+    slot's clock break -- the priority-inversion events experiment S1
+    counts.
+    """
+
+    master: int
+    grants: tuple[Grant, ...]
+    hp_node: int
+    denied_by_break: tuple[int, ...] = ()
+
+    def granted_nodes(self) -> frozenset[int]:
+        """The set of nodes granted a transmission this slot."""
+        return frozenset(g.node for g in self.grants)
+
+    def is_granted(self, node: int) -> bool:
+        """Whether ``node`` received a grant."""
+        return any(g.node == node for g in self.grants)
+
+
+class Arbiter:
+    """Implements the master's processing of a collection packet.
+
+    Parameters
+    ----------
+    spatial_reuse:
+        Grant every feasible non-overlapping request (run-time behaviour)
+        instead of only the single highest-priority one (analysis mode).
+    max_grants:
+        Optional cap on grants per slot (``None`` = unlimited); mostly
+        useful for controlled experiments.
+    """
+
+    def __init__(self, spatial_reuse: bool = True, max_grants: int | None = None):
+        if max_grants is not None and max_grants < 1:
+            raise ValueError(f"max_grants must be >= 1 or None, got {max_grants}")
+        self.spatial_reuse = spatial_reuse
+        self.max_grants = max_grants
+
+    def sort_requests(
+        self, packet: CollectionPacket
+    ) -> list[tuple[int, CollectionRequest]]:
+        """Non-empty requests as ``(node, request)``, highest priority first.
+
+        "The list of requests is sorted in the same way as the local
+        queues": descending priority; ties resolved by (ascending) node
+        index, which the master knows from each request's position in the
+        packet.
+        """
+        entries = [
+            (packet.node_of_position(pos), req)
+            for pos, req in enumerate(packet.requests)
+            if req.priority != PRIO_NOTHING_TO_SEND
+        ]
+        entries.sort(key=lambda e: (-e[1].priority, e[0]))
+        return entries
+
+    @staticmethod
+    def break_link(n_nodes: int, master: int) -> int:
+        """Id of the link entering ``master`` -- the unclocked link."""
+        return (master - 1) % n_nodes
+
+    def arbitrate(
+        self,
+        packet: CollectionPacket,
+        break_policy: BreakPolicy = BreakPolicy.AT_HP_NODE,
+        break_node: int | None = None,
+    ) -> ArbitrationResult:
+        """Run the grant sweep over a complete collection packet.
+
+        Parameters
+        ----------
+        packet:
+            The returned collection-phase packet.
+        break_policy:
+            Where the next slot's clock break sits (see
+            :class:`BreakPolicy`).
+        break_node:
+            The fixed next master; required iff ``break_policy`` is
+            :attr:`BreakPolicy.AT_FIXED_NODE`.
+        """
+        if (break_policy is BreakPolicy.AT_FIXED_NODE) != (break_node is not None):
+            raise ValueError(
+                "break_node must be given exactly when break_policy is AT_FIXED_NODE"
+            )
+
+        ordered = self.sort_requests(packet)
+        if not ordered:
+            # Nothing to send anywhere: the master keeps the clock.
+            return ArbitrationResult(
+                master=packet.master, grants=(), hp_node=packet.master
+            )
+
+        hp_node = ordered[0][0]
+        n = packet.n_nodes
+        if break_policy is BreakPolicy.AT_HP_NODE:
+            break_mask = 1 << self.break_link(n, hp_node)
+        elif break_policy is BreakPolicy.AT_FIXED_NODE:
+            assert break_node is not None
+            break_mask = 1 << self.break_link(n, break_node)
+        else:
+            break_mask = 0
+
+        limit = 1 if not self.spatial_reuse else (self.max_grants or len(ordered))
+
+        grants: list[Grant] = []
+        denied_by_break: list[int] = []
+        occupied = 0
+        for node, request in ordered:
+            if len(grants) >= limit:
+                break
+            if request.links == 0:
+                # A request reserving no links cannot transmit; skip it.
+                # (Zero-link requests are used by pure signalling services.)
+                continue
+            if masks_overlap(request.links, break_mask):
+                denied_by_break.append(node)
+                continue
+            if masks_overlap(occupied, request.links):
+                continue
+            grants.append(Grant(node=node, request=request))
+            occupied |= request.links
+
+        return ArbitrationResult(
+            master=packet.master,
+            grants=tuple(grants),
+            hp_node=hp_node,
+            denied_by_break=tuple(denied_by_break),
+        )
+
+    def build_distribution_packet(
+        self,
+        packet: CollectionPacket,
+        result: ArbitrationResult,
+        extension_bits: int = 0,
+    ) -> DistributionPacket:
+        """Encode an arbitration result as the Figure 5 packet."""
+        n = packet.n_nodes
+        granted = result.granted_nodes()
+        grants_bits = tuple(
+            ((packet.master + d) % n) in granted for d in range(1, n)
+        )
+        return DistributionPacket(
+            n_nodes=n,
+            master=packet.master,
+            grants=grants_bits,
+            hp_node=result.hp_node,
+            extension_bits=extension_bits,
+        )

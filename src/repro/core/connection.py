@@ -1,0 +1,114 @@
+"""Logical real-time connections (Sections 5 and 6).
+
+A logical real-time connection (LRTC) is the unit of guaranteed service: a
+periodic message stream from one source to a fixed destination set, with
+
+* period ``P_i`` (in slots),
+* message size ``e_i`` (in slots, the number of data-packets per message),
+* relative deadline equal to the period (Section 5 assumption).
+
+Connections are admitted and removed at runtime by the admission
+controller; once admitted, the source releases one message per period and
+the network's EDF arbitration guarantees every message meets its deadline
+as long as total utilisation stays within ``U_max``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+
+_connection_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class LogicalRealTimeConnection:
+    """A periodic guaranteed-service message stream.
+
+    Parameters
+    ----------
+    source:
+        Originating node id.
+    destinations:
+        Destination node ids (singleton = unicast, several = multicast).
+    period_slots:
+        Release period ``P_i`` in slots.
+    size_slots:
+        Message size ``e_i`` in slots; must satisfy ``e_i <= P_i`` for the
+        connection to be schedulable at all.
+    phase_slots:
+        Release offset of the first message, in slots (default 0).
+    """
+
+    source: int
+    destinations: frozenset[int]
+    period_slots: int
+    size_slots: int
+    phase_slots: int = 0
+    connection_id: int = field(default_factory=lambda: next(_connection_ids))
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("a connection needs at least one destination")
+        if self.source in self.destinations:
+            raise ValueError(f"node {self.source} cannot connect to itself")
+        if self.period_slots < 1:
+            raise ValueError(f"period must be >= 1 slot, got {self.period_slots}")
+        if self.size_slots < 1:
+            raise ValueError(f"message size must be >= 1 slot, got {self.size_slots}")
+        if self.size_slots > self.period_slots:
+            raise ValueError(
+                f"message size {self.size_slots} exceeds period "
+                f"{self.period_slots}: intrinsically infeasible"
+            )
+        if self.phase_slots < 0:
+            raise ValueError(f"phase must be non-negative, got {self.phase_slots}")
+
+    @property
+    def utilisation(self) -> float:
+        """``e_i / P_i``, the connection's slot utilisation (Equation 5)."""
+        return self.size_slots / self.period_slots
+
+    def releases_at(self, slot: int) -> bool:
+        """Whether a new message of this connection is released at ``slot``."""
+        if slot < self.phase_slots:
+            return False
+        return (slot - self.phase_slots) % self.period_slots == 0
+
+    def release_message(self, slot: int) -> Message:
+        """Instantiate the message released at ``slot``.
+
+        Relative deadline = period (Section 5).  A message released at
+        slot ``t`` is arbitrated during ``t`` and transmittable from
+        ``t + 1`` (the Figure 3 pipeline), so its deadline window is the
+        ``P_i`` slots ``(t, t + P_i]`` -- ``deadline_slot = t + P_i``.
+        This is exactly the paper's accounting: "the scheduling is not
+        affected by t_latency"; the fixed pipeline latency is charged to
+        the *user-level* delay (Equation 3), not to the EDF schedule.
+        With this window the utilisation test is exact: synchronous sets
+        at U = 1 are schedulable with zero slack.
+        """
+        if not self.releases_at(slot):
+            raise ValueError(
+                f"connection {self.connection_id} does not release at slot {slot}"
+            )
+        return Message(
+            source=self.source,
+            destinations=self.destinations,
+            traffic_class=TrafficClass.RT_CONNECTION,
+            size_slots=self.size_slots,
+            created_slot=slot,
+            deadline_slot=slot + self.period_slots,
+            connection_id=self.connection_id,
+        )
+
+    def next_release_at_or_after(self, slot: int) -> int:
+        """First release slot at or after ``slot``."""
+        if slot <= self.phase_slots:
+            return self.phase_slots
+        elapsed = slot - self.phase_slots
+        periods = -(-elapsed // self.period_slots)  # ceil division
+        return self.phase_slots + periods * self.period_slots

@@ -1,0 +1,130 @@
+"""Laxity-to-priority mapping functions.
+
+Section 3: "The time until deadline (referred to as laxity) of a message
+is mapped, with a certain function, to be expressed within the limitation
+of the priority field ... A shorter laxity of the packet implies a higher
+priority of the request.  For the following discussion, a logarithmic
+mapping function is assumed.  This mapping gives higher resolution of
+laxity, the closer to its deadline a packet gets."
+
+The laxity unit is the *slot* -- the smallest schedulable time unit
+(Section 5).  A mapping compresses a laxity (a non-negative integer number
+of slots until deadline) into the handful of levels a traffic class owns
+in the 5-bit field; the master then schedules by mapped priority, which is
+EDF up to the quantisation of the map.  The paper leaves the exact
+function open ("further discussion of deadline to priority mapping
+function is out of the scope of this paper"); we provide the assumed
+logarithmic map plus a linear one so the ablation benchmark (experiment
+S8) can quantify the difference.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.priorities import TrafficClass, class_priority_range
+
+
+class LaxityMapping(ABC):
+    """Maps a message laxity in slots to a 5-bit priority level.
+
+    Implementations must be monotone: a shorter laxity never maps to a
+    lower priority (property-tested in the suite).
+    """
+
+    @abstractmethod
+    def priority_for(self, laxity_slots: int, traffic_class: TrafficClass) -> int:
+        """Priority level for a message of the given laxity and class.
+
+        ``laxity_slots`` may be negative for an already-late message; late
+        messages saturate at the class's most urgent level.
+        """
+
+    def bucket_bounds(
+        self, priority: int, traffic_class: TrafficClass
+    ) -> tuple[int, int | None]:
+        """Inclusive laxity interval ``(lo, hi)`` mapped to ``priority``.
+
+        ``hi`` is ``None`` for the class's least-urgent level, whose bucket
+        is unbounded above.  Useful for analysis and plotting; computed by
+        scanning, so intended for small ranges only.
+        """
+        lo_p, hi_p = class_priority_range(traffic_class)
+        if not (lo_p <= priority <= hi_p):
+            raise ValueError(
+                f"priority {priority} outside class range [{lo_p}, {hi_p}]"
+            )
+        lo_bound: int | None = None
+        laxity = 0
+        while True:
+            p = self.priority_for(laxity, traffic_class)
+            if p == priority and lo_bound is None:
+                lo_bound = laxity
+            if p < priority:
+                if lo_bound is None:
+                    raise ValueError(
+                        f"priority {priority} is never produced by this mapping"
+                    )
+                return (lo_bound, laxity - 1)
+            if p == lo_p:
+                # Reached the terminal (least urgent) bucket.
+                if priority == lo_p:
+                    if lo_bound is None:
+                        lo_bound = laxity
+                    return (lo_bound, None)
+                if lo_bound is not None:
+                    return (lo_bound, laxity - 1)
+                raise ValueError(
+                    f"priority {priority} is never produced by this mapping"
+                )
+            laxity += 1
+
+
+@dataclass(frozen=True)
+class LogarithmicMapping(LaxityMapping):
+    """The paper's assumed logarithmic map.
+
+    Level ``k`` below the class's most urgent level covers laxities in
+    ``[2^k - 1, 2^(k+1) - 2]``: bucket widths double as laxity grows, so
+    resolution is finest close to the deadline.  With a 15-level class
+    range the map distinguishes laxities out to ``2^15 - 2`` slots before
+    saturating at the least-urgent level.
+    """
+
+    def priority_for(self, laxity_slots: int, traffic_class: TrafficClass) -> int:
+        lo, hi = class_priority_range(traffic_class)
+        if laxity_slots <= 0:
+            return hi
+        bucket = int(math.log2(laxity_slots + 1))
+        return max(lo, hi - bucket)
+
+
+@dataclass(frozen=True)
+class LinearMapping(LaxityMapping):
+    """Uniform-width buckets over a fixed laxity horizon (ablation).
+
+    All laxities beyond ``horizon_slots`` saturate at the class's least
+    urgent level.  Compared with the logarithmic map this wastes levels on
+    far-away deadlines and cannot distinguish urgencies near the deadline
+    once ``horizon_slots`` is large -- the behaviour experiment S8
+    quantifies.
+    """
+
+    #: Laxity (in slots) at and beyond which priority saturates low.
+    horizon_slots: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.horizon_slots < 1:
+            raise ValueError(
+                f"laxity horizon must be at least 1 slot, got {self.horizon_slots}"
+            )
+
+    def priority_for(self, laxity_slots: int, traffic_class: TrafficClass) -> int:
+        lo, hi = class_priority_range(traffic_class)
+        if laxity_slots <= 0:
+            return hi
+        levels = hi - lo + 1
+        bucket = laxity_slots * levels // self.horizon_slots
+        return max(lo, hi - bucket)

@@ -1,0 +1,162 @@
+"""Message model.
+
+A *message* is the user-level unit of traffic: a payload of one or more
+slots' worth of data from a source node to one or more destinations,
+belonging to one of the three traffic classes.  Multi-slot messages are
+transmitted one data-packet (slot) at a time; the message is delivered
+when its last packet arrives.
+
+Deadlines and laxities are expressed in slots, the network's smallest
+schedulable time unit (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.priorities import TrafficClass
+
+_message_ids = itertools.count()
+
+
+class MessageStatus(enum.Enum):
+    """Lifecycle of a message in a node's transmit queue."""
+
+    #: Queued, no packet sent yet.
+    PENDING = "pending"
+    #: Some but not all packets sent.
+    IN_TRANSIT = "in_transit"
+    #: All packets delivered.
+    DELIVERED = "delivered"
+    #: Dropped without (full) delivery (e.g. deadline policy or fault).
+    DROPPED = "dropped"
+
+
+@dataclass
+class Message:
+    """One user message.
+
+    Parameters
+    ----------
+    source:
+        Originating node id.
+    destinations:
+        Destination node ids; more than one encodes multicast, all other
+        nodes encode broadcast.
+    traffic_class:
+        One of the three classes of Table 1.
+    size_slots:
+        Number of slots (data-packets) the message occupies; ``e_i`` in
+        the schedulability analysis.
+    created_slot:
+        Slot index at which the message entered its queue.
+    deadline_slot:
+        Absolute deadline, in slots, by which the *last* packet must have
+        been transmitted.  ``None`` for non-real-time messages, which have
+        no deadline.
+    connection_id:
+        For messages belonging to a logical real-time connection, the id
+        of that connection; ``None`` otherwise.
+    """
+
+    source: int
+    destinations: frozenset[int]
+    traffic_class: TrafficClass
+    size_slots: int
+    created_slot: int
+    deadline_slot: int | None = None
+    connection_id: int | None = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    # --- mutable transmission state -----------------------------------
+    sent_slots: int = 0
+    status: MessageStatus = MessageStatus.PENDING
+    #: Slot index in which the final packet was transmitted (set on
+    #: delivery).
+    completed_slot: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("a message needs at least one destination")
+        if self.source in self.destinations:
+            raise ValueError(f"node {self.source} cannot send to itself")
+        if self.size_slots < 1:
+            raise ValueError(f"message size must be >= 1 slot, got {self.size_slots}")
+        if self.traffic_class is TrafficClass.NON_REAL_TIME:
+            if self.deadline_slot is not None:
+                raise ValueError("non-real-time messages carry no deadline")
+        else:
+            if self.deadline_slot is None:
+                raise ValueError(
+                    f"{self.traffic_class.name} messages require a deadline"
+                )
+            if self.deadline_slot < self.created_slot:
+                raise ValueError(
+                    f"deadline {self.deadline_slot} precedes creation "
+                    f"slot {self.created_slot}"
+                )
+        if (self.connection_id is not None) != (
+            self.traffic_class is TrafficClass.RT_CONNECTION
+        ):
+            raise ValueError(
+                "exactly the RT_CONNECTION messages must carry a connection id"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def remaining_slots(self) -> int:
+        """Packets still to transmit."""
+        return self.size_slots - self.sent_slots
+
+    def laxity(self, current_slot: int) -> int | None:
+        """Slots until the deadline, accounting for remaining work.
+
+        Laxity is ``deadline - current_slot - remaining_slots + 1``: the
+        number of slots the message can still afford to wait and meet its
+        deadline (0 = must be granted every slot from now on).  ``None``
+        for non-real-time messages.
+        """
+        if self.deadline_slot is None:
+            return None
+        return self.deadline_slot - current_slot - self.remaining_slots + 1
+
+    def is_late(self, current_slot: int) -> bool:
+        """Whether the message can no longer meet its deadline."""
+        lax = self.laxity(current_slot)
+        return lax is not None and lax < 0
+
+    def record_sent_packet(self, slot: int) -> None:
+        """Account one transmitted packet; completes the message if last."""
+        if self.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
+            raise ValueError(f"message {self.msg_id} is already {self.status.value}")
+        if self.remaining_slots <= 0:
+            raise ValueError(f"message {self.msg_id} has no packets left to send")
+        self.sent_slots += 1
+        if self.remaining_slots == 0:
+            self.status = MessageStatus.DELIVERED
+            self.completed_slot = slot
+        else:
+            self.status = MessageStatus.IN_TRANSIT
+
+    def drop(self) -> None:
+        """Abandon the message (drop-late policy, faults)."""
+        if self.status is MessageStatus.DELIVERED:
+            raise ValueError(f"message {self.msg_id} was already delivered")
+        self.status = MessageStatus.DROPPED
+
+    @property
+    def is_multicast(self) -> bool:
+        """Whether the message addresses more than one destination."""
+        return len(self.destinations) > 1
+
+    def met_deadline(self) -> bool | None:
+        """Whether a delivered message met its deadline.
+
+        ``None`` if the message has no deadline or is not yet delivered.
+        """
+        if self.deadline_slot is None or self.completed_slot is None:
+            return None
+        return self.completed_slot <= self.deadline_slot

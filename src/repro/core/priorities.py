@@ -1,0 +1,79 @@
+"""Traffic classes and the Table 1 priority allocation.
+
+Table 1 of the paper allocates the 5-bit request priority field to the
+user services:
+
+====================  =========================
+Priority level        Service
+====================  =========================
+0                     Nothing to send
+1                     Non-real-time
+2 - 16                Best effort
+17 - 31               Logical real-time connection
+====================  =========================
+
+"A higher priority within the traffic class implies shorter laxity and a
+more urgent message."  Messages of a logical real-time connection always
+outrank best-effort, which always outranks non-real-time; within the two
+real-time-ish classes the level encodes mapped laxity
+(:mod:`repro.core.mapping`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.phy.packets import MAX_PRIORITY, NO_REQUEST_PRIORITY
+
+#: Priority level used when a node has nothing to send (Table 1, row 0).
+PRIO_NOTHING_TO_SEND: int = NO_REQUEST_PRIORITY
+
+#: Priority level of non-real-time traffic (Table 1, row 1).
+PRIO_NON_REAL_TIME: int = 1
+
+#: Inclusive priority range of best-effort traffic (Table 1, rows 2-16).
+BEST_EFFORT_RANGE: tuple[int, int] = (2, 16)
+
+#: Inclusive priority range of logical real-time connection traffic
+#: (Table 1, rows 17-31).
+RT_CONNECTION_RANGE: tuple[int, int] = (17, MAX_PRIORITY)
+
+
+class TrafficClass(enum.IntEnum):
+    """The three user traffic classes, ordered by precedence (higher wins).
+
+    Section 3: "messages that are part of logical real-time connections
+    always have higher priority than any other service"; best-effort is
+    only requested when no real-time connection message is queued, and
+    non-real-time only when neither of the others is.
+    """
+
+    NON_REAL_TIME = 0
+    BEST_EFFORT = 1
+    RT_CONNECTION = 2
+
+
+def class_priority_range(traffic_class: TrafficClass) -> tuple[int, int]:
+    """Inclusive (low, high) priority-field range of a traffic class."""
+    if traffic_class is TrafficClass.NON_REAL_TIME:
+        return (PRIO_NON_REAL_TIME, PRIO_NON_REAL_TIME)
+    if traffic_class is TrafficClass.BEST_EFFORT:
+        return BEST_EFFORT_RANGE
+    if traffic_class is TrafficClass.RT_CONNECTION:
+        return RT_CONNECTION_RANGE
+    raise ValueError(f"unknown traffic class {traffic_class!r}")
+
+
+def priority_to_class(priority: int) -> TrafficClass | None:
+    """Traffic class a priority level belongs to; ``None`` for level 0."""
+    if priority == PRIO_NOTHING_TO_SEND:
+        return None
+    if priority == PRIO_NON_REAL_TIME:
+        return TrafficClass.NON_REAL_TIME
+    lo, hi = BEST_EFFORT_RANGE
+    if lo <= priority <= hi:
+        return TrafficClass.BEST_EFFORT
+    lo, hi = RT_CONNECTION_RANGE
+    if lo <= priority <= hi:
+        return TrafficClass.RT_CONNECTION
+    raise ValueError(f"priority level {priority} outside the 5-bit field")

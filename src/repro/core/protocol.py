@@ -1,0 +1,288 @@
+"""The per-slot MAC protocol state machine.
+
+Ties together request composition, the two-phase TCMA arbitration, and
+clock hand-over into a single object the simulator drives slot by slot.
+
+The pipeline follows Figure 3: the arbitration executed *during* slot
+``k`` (collection phase, then distribution phase) decides the
+transmissions and the master of slot ``k + 1``.  The simulator therefore
+alternates, for every slot ``k``:
+
+1. execute the transmissions planned for slot ``k`` (decided last slot);
+2. run :meth:`MacProtocol.plan_slot` on the current queue state to obtain
+   the plan -- grants, next master, inter-slot gap -- for slot ``k + 1``.
+
+Baseline protocols (CC-FPR and variants, :mod:`repro.baselines`) implement
+the same :class:`MacProtocol` interface so the simulator is agnostic to
+which MAC it is driving.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.arbitration import Arbiter, ArbitrationResult, BreakPolicy
+from repro.core.clocking import ClockHandoverStrategy, EdfHandover
+from repro.core.mapping import LaxityMapping, LogarithmicMapping
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import PRIO_NON_REAL_TIME, TrafficClass
+from repro.core.queues import NodeQueues
+from repro.phy.packets import CollectionPacket, CollectionRequest, DistributionPacket
+from repro.ring.segments import links_for_multicast
+from repro.ring.topology import RingTopology
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedTransmission:
+    """One grant bound to the concrete message it will transmit."""
+
+    node: int
+    message: Message
+    links: int
+    destinations: frozenset[int]
+
+
+@dataclass(frozen=True)
+class SlotPlan:
+    """Everything decided by one arbitration round (for slot ``k + 1``).
+
+    ``denied_by_break`` carries the messages that were refused solely
+    because their path crossed the next slot's clock break, keyed by node
+    -- the raw material of the priority-inversion experiments.
+    """
+
+    #: Slot index the plan applies to.
+    transmit_slot: int
+    #: Master (clock generator) of that slot.
+    master: int
+    #: Clock hand-over gap preceding that slot [s].
+    gap_s: float
+    transmissions: tuple[PlannedTransmission, ...] = ()
+    denied_by_break: tuple[PlannedTransmission, ...] = ()
+    #: Number of nodes that submitted a non-empty request.
+    n_requests: int = 0
+    #: The raw arbitration result (None for protocols without a global
+    #: arbitration step, e.g. CC-FPR's distributed booking).
+    arbitration: ArbitrationResult | None = None
+    #: The control packets exchanged (populated only when the protocol was
+    #: constructed with ``trace_packets=True``; heavy for long runs).
+    collection_packet: "CollectionPacket | None" = None
+    distribution_packet: "DistributionPacket | None" = None
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What actually happened in one executed slot."""
+
+    slot: int
+    master: int
+    gap_s: float
+    #: Messages that sent one packet this slot.
+    transmitted: tuple[PlannedTransmission, ...] = ()
+    #: Grants that went unused (message dropped between plan and slot).
+    wasted: tuple[PlannedTransmission, ...] = ()
+
+
+class MacProtocol(ABC):
+    """Interface every MAC implementation exposes to the simulator."""
+
+    def __init__(self, topology: RingTopology):
+        self.topology = topology
+
+    @abstractmethod
+    def plan_slot(
+        self,
+        current_slot: int,
+        current_master: int,
+        queues_by_node: Mapping[int, NodeQueues],
+    ) -> SlotPlan:
+        """Arbitrate during ``current_slot`` and plan slot ``current_slot + 1``."""
+
+    def execute_plan(self, plan: SlotPlan) -> SlotOutcome:
+        """Carry out the planned transmissions (one packet per grant)."""
+        transmitted: list[PlannedTransmission] = []
+        wasted: list[PlannedTransmission] = []
+        for tx in plan.transmissions:
+            msg = tx.message
+            if msg.status in (MessageStatus.DROPPED, MessageStatus.DELIVERED):
+                wasted.append(tx)
+                continue
+            msg.record_sent_packet(plan.transmit_slot)
+            transmitted.append(tx)
+        return SlotOutcome(
+            slot=plan.transmit_slot,
+            master=plan.master,
+            gap_s=plan.gap_s,
+            transmitted=tuple(transmitted),
+            wasted=tuple(wasted),
+        )
+
+
+class CcrEdfProtocol(MacProtocol):
+    """The paper's protocol: TCMA two-phase arbitration + EDF hand-over.
+
+    Parameters
+    ----------
+    topology:
+        The ring.
+    mapping:
+        Laxity-to-priority mapping (default: the paper's logarithmic map).
+    arbiter:
+        Grant-sweep configuration (default: spatial reuse on).
+    handover:
+        Clock hand-over strategy.  The default :class:`EdfHandover` gives
+        CCR-EDF proper; passing :class:`RoundRobinHandover` yields the
+        "global EDF arbitration on a simple-clocking ring" hybrid used as
+        an ablation baseline.
+    """
+
+    def __init__(
+        self,
+        topology: RingTopology,
+        mapping: LaxityMapping | None = None,
+        arbiter: Arbiter | None = None,
+        handover: ClockHandoverStrategy | None = None,
+        trace_packets: bool = False,
+    ):
+        super().__init__(topology)
+        self.mapping = mapping if mapping is not None else LogarithmicMapping()
+        self.arbiter = arbiter if arbiter is not None else Arbiter(spatial_reuse=True)
+        self.handover = handover if handover is not None else EdfHandover()
+        self.trace_packets = trace_packets
+        # Path masks depend only on (source, destinations) on a fixed
+        # topology; caching them takes link computation off the per-slot
+        # hot path.
+        self._route_cache: dict[tuple[int, frozenset[int]], tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def compose_request(
+        self, queues: NodeQueues, current_slot: int
+    ) -> tuple[CollectionRequest, Message | None]:
+        """Build one node's collection-phase request from its queue heads.
+
+        The node requests its locally highest-priority message: the class
+        precedence rule picks the queue, the laxity mapping computes the
+        5-bit priority, and the ring path of the message fills the link
+        reservation and destination fields (Figure 4).
+        """
+        msg = queues.head()
+        if msg is None:
+            return CollectionRequest.empty(), None
+        if msg.traffic_class is TrafficClass.NON_REAL_TIME:
+            priority = PRIO_NON_REAL_TIME
+        else:
+            laxity = msg.laxity(current_slot)
+            assert laxity is not None  # deadline classes always have one
+            priority = self.mapping.priority_for(laxity, msg.traffic_class)
+        route = (msg.source, msg.destinations)
+        cached = self._route_cache.get(route)
+        if cached is None:
+            links = links_for_multicast(
+                self.topology, msg.source, msg.destinations
+            )
+            destinations = 0
+            for dst in msg.destinations:
+                destinations |= 1 << dst
+            cached = (links, destinations)
+            self._route_cache[route] = cached
+        links, destinations = cached
+        return (
+            CollectionRequest(priority=priority, links=links, destinations=destinations),
+            msg,
+        )
+
+    def plan_slot(
+        self,
+        current_slot: int,
+        current_master: int,
+        queues_by_node: Mapping[int, NodeQueues],
+    ) -> SlotPlan:
+        n = self.topology.n_nodes
+        if set(queues_by_node.keys()) != set(range(n)):
+            raise ValueError(
+                f"queues_by_node must cover exactly nodes 0..{n - 1}"
+            )
+
+        # --- collection phase: each node appends its request ----------
+        requests_by_node: dict[int, CollectionRequest] = {}
+        messages_by_node: dict[int, Message | None] = {}
+        for node in range(n):
+            req, msg = self.compose_request(queues_by_node[node], current_slot)
+            requests_by_node[node] = req
+            messages_by_node[node] = msg
+
+        # Assemble in append order (downstream from the master; the master
+        # itself last) exactly as the packet travels.
+        ordered = [
+            requests_by_node[(current_master + d) % n] for d in range(1, n)
+        ]
+        ordered.append(requests_by_node[current_master])
+        packet = CollectionPacket(
+            n_nodes=n, master=current_master, requests=tuple(ordered)
+        )
+
+        # --- master processes the requests ----------------------------
+        if isinstance(self.handover, EdfHandover):
+            result = self.arbiter.arbitrate(packet, BreakPolicy.AT_HP_NODE)
+            next_master = self.handover.next_master(
+                self.topology, current_master, result
+            )
+        else:
+            # Fixed hand-over (e.g. round-robin): the next master is known
+            # before arbitration, so the break location is too.
+            provisional = ArbitrationResult(
+                master=current_master, grants=(), hp_node=current_master
+            )
+            next_master = self.handover.next_master(
+                self.topology, current_master, provisional
+            )
+            result = self.arbiter.arbitrate(
+                packet, BreakPolicy.AT_FIXED_NODE, break_node=next_master
+            )
+
+        # --- distribution phase & hand-over ----------------------------
+        gap_s = self.handover.gap_s(self.topology, current_master, next_master)
+
+        transmissions = []
+        for grant in result.grants:
+            msg = messages_by_node[grant.node]
+            assert msg is not None  # granted nodes had a head message
+            transmissions.append(
+                PlannedTransmission(
+                    node=grant.node,
+                    message=msg,
+                    links=grant.request.links,
+                    destinations=msg.destinations,
+                )
+            )
+        denied = []
+        for node in result.denied_by_break:
+            msg = messages_by_node[node]
+            assert msg is not None
+            denied.append(
+                PlannedTransmission(
+                    node=node,
+                    message=msg,
+                    links=requests_by_node[node].links,
+                    destinations=msg.destinations,
+                )
+            )
+
+        distribution = None
+        if self.trace_packets:
+            distribution = self.arbiter.build_distribution_packet(packet, result)
+
+        return SlotPlan(
+            transmit_slot=current_slot + 1,
+            master=next_master,
+            gap_s=gap_s,
+            transmissions=tuple(transmissions),
+            denied_by_break=tuple(denied),
+            n_requests=sum(1 for r in requests_by_node.values() if not r.is_empty),
+            arbitration=result,
+            collection_packet=packet if self.trace_packets else None,
+            distribution_packet=distribution,
+        )

@@ -1,0 +1,161 @@
+"""Per-node transmit queues with strict class precedence.
+
+Each node keeps one queue per traffic class.  Within the two deadline-
+bearing classes, the queue is ordered earliest-deadline-first (ties broken
+by message id, i.e. arrival order); the non-real-time queue is FIFO.
+
+Section 3 defines the selection rule a node applies when composing its
+collection-phase request: "Observed locally in a node, best effort
+messages will only be requested to be sent if there is no logical
+real-time connection message queued.  The same applies to non real-time
+messages."  :meth:`NodeQueues.head` implements exactly that rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    sort_key: tuple[int, int]
+    message: Message = field(compare=False)
+
+
+class NodeQueues:
+    """The three transmit queues of one node.
+
+    Messages stay in their queue until fully transmitted (multi-slot
+    messages keep their place and their deadline ordering between
+    packets) or dropped.
+    """
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._rt: list[_QueueEntry] = []
+        self._be: list[_QueueEntry] = []
+        self._nrt: list[_QueueEntry] = []
+        self._heaps = {
+            TrafficClass.RT_CONNECTION: self._rt,
+            TrafficClass.BEST_EFFORT: self._be,
+            TrafficClass.NON_REAL_TIME: self._nrt,
+        }
+        self._fifo_counter = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, message: Message) -> None:
+        """Insert a message into the queue of its class."""
+        if message.source != self.node:
+            raise ValueError(
+                f"message {message.msg_id} originates at node {message.source}, "
+                f"not at this node ({self.node})"
+            )
+        if message.status is not MessageStatus.PENDING:
+            raise ValueError(
+                f"only pending messages may be enqueued, got {message.status.value}"
+            )
+        if message.deadline_slot is not None:
+            key = (message.deadline_slot, message.msg_id)
+        else:
+            key = (self._fifo_counter, message.msg_id)
+            self._fifo_counter += 1
+        heapq.heappush(
+            self._heaps[message.traffic_class], _QueueEntry(key, message)
+        )
+
+    def _head_of(self, traffic_class: TrafficClass) -> Message | None:
+        """Head of one class queue, discarding finished entries lazily."""
+        heap = self._heaps[traffic_class]
+        while heap:
+            msg = heap[0].message
+            if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
+                heapq.heappop(heap)
+                continue
+            return msg
+        return None
+
+    def head(self) -> Message | None:
+        """The locally highest-priority message (the one to request).
+
+        Strict class precedence: any RT-connection message beats any
+        best-effort message beats any non-real-time message; within a
+        class the earliest deadline (or FIFO order) wins.
+        """
+        for traffic_class in (
+            TrafficClass.RT_CONNECTION,
+            TrafficClass.BEST_EFFORT,
+            TrafficClass.NON_REAL_TIME,
+        ):
+            msg = self._head_of(traffic_class)
+            if msg is not None:
+                return msg
+        return None
+
+    def head_of_class(self, traffic_class: TrafficClass) -> Message | None:
+        """Head of a specific class queue (used by spatial-reuse probing)."""
+        return self._head_of(traffic_class)
+
+    # ------------------------------------------------------------------
+
+    def drop_late(self, current_slot: int) -> list[Message]:
+        """Drop every queued deadline-bearing message that is already late.
+
+        Returns the dropped messages.  Whether to drop or to keep sending
+        late messages is a policy choice; the simulator exposes both, and
+        this helper implements the drop policy.
+        """
+        dropped: list[Message] = []
+        for traffic_class in (TrafficClass.RT_CONNECTION, TrafficClass.BEST_EFFORT):
+            heap = self._heaps[traffic_class]
+            keep: list[_QueueEntry] = []
+            for entry in heap:
+                msg = entry.message
+                if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
+                    continue
+                if msg.is_late(current_slot):
+                    msg.drop()
+                    dropped.append(msg)
+                else:
+                    keep.append(entry)
+            heap[:] = keep
+            heapq.heapify(heap)
+        return dropped
+
+    def pending_count(self, traffic_class: TrafficClass | None = None) -> int:
+        """Number of live (pending or in-transit) messages queued."""
+        classes = (
+            [traffic_class]
+            if traffic_class is not None
+            else list(self._heaps.keys())
+        )
+        count = 0
+        for tc in classes:
+            for entry in self._heaps[tc]:
+                if entry.message.status in (
+                    MessageStatus.PENDING,
+                    MessageStatus.IN_TRANSIT,
+                ):
+                    count += 1
+        return count
+
+    def pending_messages(self) -> list[Message]:
+        """All live messages across the three queues (unordered)."""
+        out: list[Message] = []
+        for heap in self._heaps.values():
+            for entry in heap:
+                if entry.message.status in (
+                    MessageStatus.PENDING,
+                    MessageStatus.IN_TRANSIT,
+                ):
+                    out.append(entry.message)
+        return out
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no live message is queued in any class."""
+        return self.head() is None

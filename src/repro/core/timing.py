@@ -1,0 +1,215 @@
+"""The timing equations of Sections 4-6 (Equations 1-6).
+
+:class:`NetworkTiming` binds a ring topology, a link rate model, and the
+slot design parameters together and exposes every analytical quantity the
+paper derives:
+
+* Equation (1): clock hand-over time ``t_handover = P * L * D``;
+* Equation (2): minimum slot length ``t_minslot = N * t_node + t_prop``;
+* Equation (3): maximum user-perceived delay
+  ``t_maxdelay = t_deadline + t_latency``;
+* Equation (4): worst-case protocol latency
+  ``t_latency = 2 * t_slot + t_handover_max``;
+* Equation (5): EDF feasibility ``sum(e_i / P_i) <= U_max``;
+* Equation (6): worst-case utilisation
+  ``U_max = t_slot / (t_slot + t_handover_max)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.phy.constants import (
+    DEFAULT_NODE_DELAY_S,
+    DEFAULT_SLOT_PAYLOAD_BYTES,
+)
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+@dataclass(frozen=True)
+class NetworkTiming:
+    """Derived timing model of one CCR-EDF network configuration.
+
+    Parameters
+    ----------
+    topology:
+        Ring geometry (node count, link lengths).
+    link:
+        Fibre-ribbon rate model.
+    slot_payload_bytes:
+        Data payload per slot; determines the nominal slot duration.
+    node_delay_s:
+        Per-node transit/append delay ``t_node`` of the control packet
+        during the collection phase (Equation 2).
+    """
+
+    topology: RingTopology
+    link: FibreRibbonLink = field(default_factory=FibreRibbonLink)
+    slot_payload_bytes: int = DEFAULT_SLOT_PAYLOAD_BYTES
+    node_delay_s: float = DEFAULT_NODE_DELAY_S
+
+    def __post_init__(self) -> None:
+        if self.slot_payload_bytes < 1:
+            raise ValueError(
+                f"slot payload must be >= 1 byte, got {self.slot_payload_bytes}"
+            )
+        if self.node_delay_s < 0:
+            raise ValueError(
+                f"node delay must be non-negative, got {self.node_delay_s}"
+            )
+
+    # ------------------------------------------------------------------
+    # Equation (1): hand-over time
+    # ------------------------------------------------------------------
+
+    def handover_time_s(self, hops: int) -> float:
+        """Equation (1): ``t_handover = P * L * D`` for ``D = hops``.
+
+        Uses the mean link length ``L``; for heterogeneous rings prefer
+        :meth:`RingTopology.handover_delay_s`, which sums exact segment
+        delays.  ``hops = 0`` (master keeps the clock) costs nothing.
+        """
+        n = self.topology.n_nodes
+        if not (0 <= hops <= n - 1):
+            raise ValueError(f"hop count must be in [0, {n - 1}], got {hops}")
+        p = self.topology.segments[0].delay_s_per_m
+        return p * self.topology.mean_link_length_m * hops
+
+    @cached_property
+    def max_handover_time_s(self) -> float:
+        """Worst-case hand-over, ``D = N - 1`` (hand-over to the upstream
+        neighbour)."""
+        return self.topology.max_handover_delay_s
+
+    # ------------------------------------------------------------------
+    # Equation (2): minimum slot length
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def effective_node_delay_s(self) -> float:
+        """The per-node collection-phase delay ``t_node`` of Equation (2).
+
+        Each node both forwards the packet (processing/transit latency,
+        :attr:`node_delay_s`) and *appends its own request* -- the
+        ``5 + 2N`` bits of Figure 4, clocked at the control-channel bit
+        rate.  The append time grows with ``N``, which is why large rings
+        need longer slots even before propagation delay matters.
+        """
+        from repro.phy.packets import PRIORITY_FIELD_BITS
+
+        request_bits = PRIORITY_FIELD_BITS + 2 * self.topology.n_nodes
+        return self.node_delay_s + self.link.control_transfer_time_s(request_bits)
+
+    @cached_property
+    def min_slot_length_s(self) -> float:
+        """Equation (2): ``t_minslot = N * t_node + t_prop``.
+
+        The collection phase (the request packet visiting every node,
+        each appending its request, plus propagating around the whole
+        ring) must finish before the data transmission of the current
+        slot ends, since arbitration for slot ``k + 1`` runs during slot
+        ``k`` (Figure 3).  ``t_node`` is :attr:`effective_node_delay_s`.
+
+        Two physically required terms the paper's formula leaves
+        implicit are included: the collection packet's start bit, and
+        the serialisation time of the distribution packet, which must
+        *begin* after the collection completes and *end* exactly at the
+        slot boundary (Section 3) -- verified event-by-event in
+        :mod:`repro.sim.control_channel`.
+        """
+        from repro.phy.packets import distribution_packet_length_bits
+
+        n = self.topology.n_nodes
+        start_bit = self.link.control_transfer_time_s(1)
+        distribution = self.link.control_transfer_time_s(
+            distribution_packet_length_bits(n)
+        )
+        return (
+            start_bit
+            + n * self.effective_node_delay_s
+            + self.topology.ring_propagation_delay_s
+            + distribution
+        )
+
+    @cached_property
+    def nominal_slot_length_s(self) -> float:
+        """Slot duration implied by the payload size alone."""
+        return self.link.slot_duration_s(self.slot_payload_bytes)
+
+    @cached_property
+    def slot_length_s(self) -> float:
+        """Operating slot length: the payload time, but never below the
+        Equation (2) minimum."""
+        return max(self.nominal_slot_length_s, self.min_slot_length_s)
+
+    # ------------------------------------------------------------------
+    # Equations (3) and (4): latency bounds
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def worst_case_latency_s(self) -> float:
+        """Equation (4): ``t_latency = 2 * t_slot + t_handover_max``.
+
+        One slot because an arrival can just miss the running slot's
+        arbitration, one slot for the arbitration itself, plus the worst
+        hand-over gap before the message's slot begins.
+        """
+        return 2.0 * self.slot_length_s + self.max_handover_time_s
+
+    def max_delay_s(self, deadline_s: float) -> float:
+        """Equation (3): ``t_maxdelay = t_deadline + t_latency``.
+
+        The deadline drives the EDF schedule; the user additionally
+        perceives the fixed protocol latency on top of it.
+        """
+        if deadline_s < 0:
+            raise ValueError(f"deadline must be non-negative, got {deadline_s}")
+        return deadline_s + self.worst_case_latency_s
+
+    # ------------------------------------------------------------------
+    # Equations (5) and (6): utilisation bound and feasibility test
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def u_max(self) -> float:
+        """Equation (6): ``U_max = t_slot / (t_slot + t_handover_max)``.
+
+        The guaranteed fraction of time that carries data when every slot
+        suffers the worst hand-over gap; also the worst-case throughput
+        fraction at full load.  Strictly below 1 on any ring with
+        non-zero propagation delay.
+        """
+        return self.slot_length_s / (self.slot_length_s + self.max_handover_time_s)
+
+    def total_utilisation(
+        self, connections: Iterable[LogicalRealTimeConnection]
+    ) -> float:
+        """``sum(e_i / P_i)`` over a set of logical real-time connections."""
+        return sum(c.utilisation for c in connections)
+
+    def edf_feasible(
+        self, connections: Iterable[LogicalRealTimeConnection]
+    ) -> bool:
+        """Equation (5): the basic EDF feasibility/admission test.
+
+        A connection set is schedulable (one message per slot, worst-case
+        hand-over between every pair of slots) iff its total utilisation
+        does not exceed ``U_max``.
+        """
+        return self.total_utilisation(connections) <= self.u_max
+
+    # ------------------------------------------------------------------
+    # Simulator coupling helpers
+    # ------------------------------------------------------------------
+
+    def effective_slot_rate_hz(self) -> float:
+        """Guaranteed slot completion rate at worst-case hand-over [1/s]."""
+        return 1.0 / (self.slot_length_s + self.max_handover_time_s)
+
+    def guaranteed_data_rate_bit_per_s(self) -> float:
+        """Worst-case guaranteed data throughput (no spatial reuse)."""
+        return self.u_max * self.link.data_rate_bit_per_s

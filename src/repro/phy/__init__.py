@@ -1,0 +1,63 @@
+"""Physical-layer substrate for the CCR-EDF fibre-ribbon ring.
+
+The paper assumes Motorola OPTOBUS bi-directional fibre-ribbon links (ten
+fibres per direction) arranged in a unidirectional ring: eight fibres carry
+data byte-parallel, one fibre carries the clock that strobes the data (and
+the bits of the control channel), and one fibre carries the bit-serial
+control channel used for arbitration.
+
+This package models everything below the MAC protocol:
+
+* :mod:`repro.phy.constants` -- physical constants and OPTOBUS-era defaults;
+* :mod:`repro.phy.fiber` -- propagation delay along fibre segments;
+* :mod:`repro.phy.link` -- a parameterised fibre-ribbon link (bit time,
+  byte time, slot capacity conversions);
+* :mod:`repro.phy.packets` -- bit-exact control-channel packet formats of
+  the collection phase (Figure 4) and distribution phase (Figure 5),
+  including serialisation to and parsing from a bit sequence.
+
+All protocol-visible behaviour of the network depends only on bit times and
+propagation delays; modelling those exactly is what makes the simulator a
+faithful substitute for the (long obsolete) OPTOBUS hardware.
+"""
+
+from repro.phy.constants import (
+    FIBRE_PROPAGATION_DELAY_S_PER_M,
+    OPTOBUS_BIT_RATE_PER_FIBRE,
+    OPTOBUS_DATA_FIBRES,
+    OPTOBUS_FIBRES_PER_DIRECTION,
+    SPEED_OF_LIGHT_M_PER_S,
+)
+from repro.phy.fiber import FibreSegment, propagation_delay
+from repro.phy.link import FibreRibbonLink
+from repro.phy.packets import (
+    BitWriter,
+    BitReader,
+    CollectionPacket,
+    CollectionRequest,
+    DistributionPacket,
+    NO_REQUEST_PRIORITY,
+    collection_packet_length_bits,
+    distribution_packet_length_bits,
+    index_field_width,
+)
+
+__all__ = [
+    "FIBRE_PROPAGATION_DELAY_S_PER_M",
+    "OPTOBUS_BIT_RATE_PER_FIBRE",
+    "OPTOBUS_DATA_FIBRES",
+    "OPTOBUS_FIBRES_PER_DIRECTION",
+    "SPEED_OF_LIGHT_M_PER_S",
+    "FibreSegment",
+    "propagation_delay",
+    "FibreRibbonLink",
+    "BitWriter",
+    "BitReader",
+    "CollectionPacket",
+    "CollectionRequest",
+    "DistributionPacket",
+    "NO_REQUEST_PRIORITY",
+    "collection_packet_length_bits",
+    "distribution_packet_length_bits",
+    "index_field_width",
+]

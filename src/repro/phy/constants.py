@@ -1,0 +1,50 @@
+"""Physical constants and OPTOBUS-era link defaults.
+
+The 2002 paper assumes Motorola OPTOBUS fibre-ribbon links; contemporary
+parts ("Parallel optical links move data at 3 Gbits/s", ref. [10]) offered
+aggregate rates of a few Gbit/s over ten parallel fibres.  The protocol is
+agnostic to the exact rate -- every derived quantity in this library takes
+the rate as a parameter -- but these defaults give a realistic 2002-vintage
+operating point used throughout examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT_M_PER_S: float = 299_792_458.0
+
+#: Group refractive index of standard multimode fibre at 850 nm.  Light in
+#: glass travels at roughly c / 1.5, i.e. about 5 ns per metre.
+FIBRE_GROUP_INDEX: float = 1.5
+
+#: Propagation delay of light in fibre [s/m].  This is the constant *P* of
+#: Equation (1) in the paper: ``t_handover = P * L * D``.
+FIBRE_PROPAGATION_DELAY_S_PER_M: float = FIBRE_GROUP_INDEX / SPEED_OF_LIGHT_M_PER_S
+
+#: Per-fibre bit rate of an OPTOBUS-class link [bit/s].  OPTOBUS ran ten
+#: channels at 400 Mbit/s each; ref. [10] reports 3 Gbit/s aggregate parts.
+#: We default to 400 Mbit/s per fibre (3.2 Gbit/s across the 8 data fibres).
+OPTOBUS_BIT_RATE_PER_FIBRE: float = 400e6
+
+#: Number of fibres per direction in an OPTOBUS ribbon.
+OPTOBUS_FIBRES_PER_DIRECTION: int = 10
+
+#: Of the ten fibres: eight carry data (byte-parallel), one carries the
+#: clock, one carries the bit-serial control channel.
+OPTOBUS_DATA_FIBRES: int = 8
+OPTOBUS_CLOCK_FIBRES: int = 1
+OPTOBUS_CONTROL_FIBRES: int = 1
+
+#: Default per-node control-packet transit delay [s] used for Equation (2),
+#: ``t_minslot = N * t_node + t_prop``.  Each node inserts a small
+#: store-and-forward/append delay on the control channel while it appends
+#: its request to the collection packet; a few bit times plus logic latency.
+DEFAULT_NODE_DELAY_S: float = 100e-9
+
+#: Default ring-segment (link) length [m].  The paper targets LANs/SANs
+#: "where the number of nodes and network length is relatively small".
+DEFAULT_LINK_LENGTH_M: float = 10.0
+
+#: Default data slot payload in bytes.  The slot length is a design
+#: parameter; 1 KiB per slot at 400 MHz byte clock gives a ~2.56 us slot.
+DEFAULT_SLOT_PAYLOAD_BYTES: int = 1024

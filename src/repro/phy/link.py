@@ -1,0 +1,90 @@
+"""Parameterised fibre-ribbon link model.
+
+A :class:`FibreRibbonLink` captures the rate-related parameters of one
+OPTOBUS-class ribbon: the per-fibre bit rate (which is also the byte rate
+of the 8-fibre-wide data channel and the bit rate of the serial control
+channel, since the same clock fibre strobes both), and the resulting
+conversion helpers between bytes, bits, and seconds that the MAC timing
+equations need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.constants import (
+    OPTOBUS_BIT_RATE_PER_FIBRE,
+    OPTOBUS_DATA_FIBRES,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FibreRibbonLink:
+    """Rate parameters of a fibre-ribbon link.
+
+    The clock fibre strobes the data fibres byte-for-byte and the control
+    fibre bit-for-bit, so one clock period moves one *byte* on the data
+    channel and one *bit* on the control channel.  That coupling is why
+    ``byte_time_s == bit_time_s`` here: both equal one clock period.
+    """
+
+    #: Clock rate of the link [Hz].  One clock edge per data byte and per
+    #: control bit.
+    clock_rate_hz: float = OPTOBUS_BIT_RATE_PER_FIBRE
+    #: Number of parallel data fibres (data-channel width in bits).
+    data_fibres: int = OPTOBUS_DATA_FIBRES
+
+    def __post_init__(self) -> None:
+        if self.clock_rate_hz <= 0:
+            raise ValueError(f"clock rate must be positive, got {self.clock_rate_hz}")
+        if self.data_fibres <= 0:
+            raise ValueError(f"data fibre count must be positive, got {self.data_fibres}")
+
+    @property
+    def bit_time_s(self) -> float:
+        """Duration of one control-channel bit (= one clock period) [s]."""
+        return 1.0 / self.clock_rate_hz
+
+    @property
+    def byte_time_s(self) -> float:
+        """Duration of one data-channel word (= one clock period) [s]."""
+        return 1.0 / self.clock_rate_hz
+
+    @property
+    def data_rate_bit_per_s(self) -> float:
+        """Aggregate data-channel rate [bit/s] across the parallel fibres."""
+        return self.clock_rate_hz * self.data_fibres
+
+    def data_transfer_time_s(self, n_bytes: int) -> float:
+        """Time [s] to clock ``n_bytes`` across the byte-parallel data channel."""
+        if n_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+        words = -(-n_bytes * 8 // self.data_fibres)  # ceil division into words
+        return words * self.byte_time_s
+
+    def control_transfer_time_s(self, n_bits: int) -> float:
+        """Time [s] to clock ``n_bits`` over the bit-serial control channel."""
+        if n_bits < 0:
+            raise ValueError(f"bit count must be non-negative, got {n_bits}")
+        return n_bits * self.bit_time_s
+
+    def slot_duration_s(self, payload_bytes: int) -> float:
+        """Duration [s] of a data slot carrying ``payload_bytes`` of payload.
+
+        CCR-EDF data-packets have essentially no header on the data channel
+        (arbitration travels on the control channel; "with less header
+        overhead in the data-packets the slot-length can be shortened"), so
+        the slot duration is simply the payload transfer time.
+        """
+        return self.data_transfer_time_s(payload_bytes)
+
+    def slot_capacity_bytes(self, slot_duration_s: float) -> int:
+        """Payload bytes that fit in a slot of the given duration."""
+        if slot_duration_s < 0:
+            raise ValueError(
+                f"slot duration must be non-negative, got {slot_duration_s}"
+            )
+        # Tolerate float rounding so a duration produced by
+        # slot_duration_s() converts back to at least its own word count.
+        words = int(slot_duration_s * self.clock_rate_hz * (1 + 1e-12) + 1e-9)
+        return words * self.data_fibres // 8

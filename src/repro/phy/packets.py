@@ -1,0 +1,415 @@
+"""Bit-exact control-channel packet formats (Figures 4 and 5).
+
+Two packet types travel on the bit-serial control fibre:
+
+* the **collection-phase packet** (Figure 4): the master launches a packet
+  containing only a start bit; each node appends one request of three
+  fields as the packet passes -- a 5-bit priority field, an ``N``-bit link
+  reservation field (one bit per ring link the transmission would occupy)
+  and an ``N``-bit destination field (one bit per node; multiple bits set
+  encode multicast, all set encode broadcast);
+
+* the **distribution-phase packet** (Figure 5): the master broadcasts the
+  arbitration result -- a start bit, ``N - 1`` grant bits (one per non-
+  master node, in downstream order from the master; the master knows its
+  own result locally), and a ``ceil(log2 N)``-bit index naming the node
+  holding the highest-priority message, i.e. the master of the next slot.
+  The real protocol appends further fields (acknowledgements etc., refs
+  [4][11]); those are modelled by :mod:`repro.services.reliable` and are
+  carried here as an opaque extension-bit count so packet *lengths* stay
+  exact.
+
+Both classes serialise to and parse from a plain bit sequence so tests can
+verify the exact over-fibre layout and so the minimum-slot-length equation
+(Equation 2) can be checked against real packet sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Width of the priority field in a collection-phase request (Figure 4).
+PRIORITY_FIELD_BITS: int = 5
+
+#: Reserved priority level meaning "nothing to send" (Table 1).
+NO_REQUEST_PRIORITY: int = 0
+
+#: Highest encodable priority with a 5-bit field.
+MAX_PRIORITY: int = (1 << PRIORITY_FIELD_BITS) - 1
+
+
+def index_field_width(n_nodes: int) -> int:
+    """Width in bits of the hp-node index field: ``ceil(log2 N)``, min 1."""
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    return max(1, (n_nodes - 1).bit_length())
+
+
+def collection_packet_length_bits(n_nodes: int) -> int:
+    """Total length in bits of a complete collection-phase packet.
+
+    One start bit plus ``N`` requests of ``5 + N + N`` bits each.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    return 1 + n_nodes * (PRIORITY_FIELD_BITS + 2 * n_nodes)
+
+
+def distribution_packet_length_bits(n_nodes: int, extension_bits: int = 0) -> int:
+    """Total length in bits of a distribution-phase packet.
+
+    One start bit, ``N - 1`` request-result bits, ``ceil(log2 N)`` index
+    bits, plus any protocol extension bits (acknowledgements etc.).
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    if extension_bits < 0:
+        raise ValueError(f"extension bits must be non-negative, got {extension_bits}")
+    return 1 + (n_nodes - 1) + index_field_width(n_nodes) + extension_bits
+
+
+class BitWriter:
+    """Append-only bit buffer used to serialise control packets."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._bits.append(bit)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Write ``value`` MSB-first in exactly ``width`` bits."""
+        if width <= 0:
+            raise ValueError(f"field width must be positive, got {width}")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bitmask(self, mask: int, width: int) -> None:
+        """Write a bitmask with bit ``i`` of ``mask`` at position ``i``.
+
+        Bit 0 of the mask is transmitted first (LSB-first), matching the
+        node/link numbering order the fields use.
+        """
+        if width <= 0:
+            raise ValueError(f"field width must be positive, got {width}")
+        if mask < 0 or mask >= (1 << width):
+            raise ValueError(f"mask {mask:#x} does not fit in {width} bits")
+        for i in range(width):
+            self._bits.append((mask >> i) & 1)
+
+    def getvalue(self) -> tuple[int, ...]:
+        """The accumulated bit sequence."""
+        return tuple(self._bits)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """Sequential reader over a bit sequence produced by :class:`BitWriter`."""
+
+    def __init__(self, bits: tuple[int, ...] | list[int]) -> None:
+        for b in bits:
+            if b not in (0, 1):
+                raise ValueError(f"bit stream may only contain 0/1, got {b}")
+        self._bits = tuple(bits)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        """Consume and return the next bit."""
+        if self._pos >= len(self._bits):
+            raise ValueError("bit stream exhausted")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_uint(self, width: int) -> int:
+        """Consume ``width`` bits as an MSB-first unsigned integer."""
+        if width <= 0:
+            raise ValueError(f"field width must be positive, got {width}")
+        if self.remaining < width:
+            raise ValueError(
+                f"need {width} bits, only {self.remaining} remain in stream"
+            )
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_bitmask(self, width: int) -> int:
+        """Consume ``width`` bits as an LSB-first bitmask."""
+        if width <= 0:
+            raise ValueError(f"field width must be positive, got {width}")
+        if self.remaining < width:
+            raise ValueError(
+                f"need {width} bits, only {self.remaining} remain in stream"
+            )
+        mask = 0
+        for i in range(width):
+            mask |= self.read_bit() << i
+        return mask
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionRequest:
+    """One node's request inside the collection-phase packet (Figure 4).
+
+    ``links`` and ``destinations`` are bitmasks over ring links and nodes
+    respectively; a node with nothing to send uses priority
+    :data:`NO_REQUEST_PRIORITY` and all-zero masks.
+    """
+
+    #: 5-bit priority (Table 1).  0 = nothing to send.
+    priority: int
+    #: Bitmask of ring links the transmission would occupy (bit *l* set =
+    #: link from node *l* to its downstream neighbour is reserved).
+    links: int
+    #: Bitmask of destination nodes (several set = multicast).
+    destinations: int
+
+    def validate(self, n_nodes: int) -> None:
+        """Check field ranges for a ring of ``n_nodes`` nodes."""
+        if not (0 <= self.priority <= MAX_PRIORITY):
+            raise ValueError(
+                f"priority must be in [0, {MAX_PRIORITY}], got {self.priority}"
+            )
+        if not (0 <= self.links < (1 << n_nodes)):
+            raise ValueError(f"link mask {self.links:#x} does not fit N={n_nodes}")
+        if not (0 <= self.destinations < (1 << n_nodes)):
+            raise ValueError(
+                f"destination mask {self.destinations:#x} does not fit N={n_nodes}"
+            )
+        if self.priority == NO_REQUEST_PRIORITY and (self.links or self.destinations):
+            raise ValueError(
+                "a no-request entry must carry all-zero link/destination fields"
+            )
+
+    @classmethod
+    def empty(cls) -> "CollectionRequest":
+        """The request a node sends when it has nothing to transmit.
+
+        Returns a shared immutable instance: idle nodes appear in every
+        slot's collection packet, so this sits on the simulator's hot
+        path.
+        """
+        return _EMPTY_REQUEST
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is a nothing-to-send request."""
+        return self.priority == NO_REQUEST_PRIORITY
+
+
+_EMPTY_REQUEST = CollectionRequest(
+    priority=NO_REQUEST_PRIORITY, links=0, destinations=0
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionPacket:
+    """Complete collection-phase packet: start bit + one request per node.
+
+    ``requests[i]`` is the request appended by the node that is ``i`` hops
+    downstream of the master (the master's own request is ``requests[N-1]``
+    -- it appends last, when the packet has returned; equivalently it is
+    slotted in at processing time).  For convenience the packet is indexed
+    by absolute node id via :meth:`request_of`.
+    """
+
+    #: Number of nodes in the ring.
+    n_nodes: int
+    #: Absolute node id of the master that launched the packet.
+    master: int
+    #: Requests ordered by append order (downstream distance from master,
+    #: starting at 1; the master's own request is last).
+    requests: tuple[CollectionRequest, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"a ring needs at least 2 nodes, got {self.n_nodes}")
+        if not (0 <= self.master < self.n_nodes):
+            raise ValueError(
+                f"master id {self.master} out of range for N={self.n_nodes}"
+            )
+        if len(self.requests) != self.n_nodes:
+            raise ValueError(
+                f"expected {self.n_nodes} requests, got {len(self.requests)}"
+            )
+        for req in self.requests:
+            req.validate(self.n_nodes)
+
+    def append_order_of(self, node: int) -> int:
+        """Position of ``node``'s request in the packet (0-based)."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node id {node} out of range for N={self.n_nodes}")
+        distance = (node - self.master) % self.n_nodes
+        # Distance 1..N-1 map to positions 0..N-2; the master (distance 0)
+        # appends last, position N-1.
+        return self.n_nodes - 1 if distance == 0 else distance - 1
+
+    def request_of(self, node: int) -> CollectionRequest:
+        """The request appended by absolute node id ``node``."""
+        return self.requests[self.append_order_of(node)]
+
+    def node_of_position(self, position: int) -> int:
+        """Absolute node id whose request sits at append ``position``."""
+        if not (0 <= position < self.n_nodes):
+            raise ValueError(f"position {position} out of range for N={self.n_nodes}")
+        if position == self.n_nodes - 1:
+            return self.master
+        return (self.master + position + 1) % self.n_nodes
+
+    @property
+    def length_bits(self) -> int:
+        """Exact over-fibre length of this packet in bits."""
+        return collection_packet_length_bits(self.n_nodes)
+
+    def serialize(self) -> tuple[int, ...]:
+        """Flatten to the exact over-fibre bit sequence (Figure 4)."""
+        w = BitWriter()
+        w.write_bit(1)  # start bit
+        for req in self.requests:
+            w.write_uint(req.priority, PRIORITY_FIELD_BITS)
+            w.write_bitmask(req.links, self.n_nodes)
+            w.write_bitmask(req.destinations, self.n_nodes)
+        return w.getvalue()
+
+    @classmethod
+    def parse(
+        cls, bits: tuple[int, ...] | list[int], n_nodes: int, master: int
+    ) -> "CollectionPacket":
+        """Parse the bit sequence back into a packet.
+
+        ``n_nodes`` and ``master`` are context the receiver already has
+        (ring size is static; the master launched the packet itself).
+        """
+        r = BitReader(bits)
+        if r.read_bit() != 1:
+            raise ValueError("collection packet must begin with a start bit of 1")
+        requests = []
+        for _ in range(n_nodes):
+            priority = r.read_uint(PRIORITY_FIELD_BITS)
+            links = r.read_bitmask(n_nodes)
+            destinations = r.read_bitmask(n_nodes)
+            requests.append(
+                CollectionRequest(priority=priority, links=links, destinations=destinations)
+            )
+        if r.remaining:
+            raise ValueError(f"{r.remaining} trailing bits after collection packet")
+        return cls(n_nodes=n_nodes, master=master, requests=tuple(requests))
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionPacket:
+    """Distribution-phase packet (Figure 5).
+
+    ``grants`` holds one bit per *non-master* node in downstream order from
+    the master (downstream distances 1 .. N-1); the master learns its own
+    grant locally when it runs the arbitration.  ``hp_node`` is the
+    absolute id of the node holding the highest-priority message -- the
+    master of the next slot.  ``extension_bits`` reproduces the length of
+    the trailing fields (acknowledgements etc.) the full protocol carries.
+    """
+
+    n_nodes: int
+    master: int
+    #: Grant flags for downstream distances 1..N-1 from the master.
+    grants: tuple[bool, ...]
+    #: Absolute node id of the next master (highest-priority node).
+    hp_node: int
+    #: Length of trailing protocol fields (modelled opaquely).
+    extension_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"a ring needs at least 2 nodes, got {self.n_nodes}")
+        if not (0 <= self.master < self.n_nodes):
+            raise ValueError(
+                f"master id {self.master} out of range for N={self.n_nodes}"
+            )
+        if len(self.grants) != self.n_nodes - 1:
+            raise ValueError(
+                f"expected {self.n_nodes - 1} grant bits, got {len(self.grants)}"
+            )
+        if not (0 <= self.hp_node < self.n_nodes):
+            raise ValueError(
+                f"hp-node id {self.hp_node} out of range for N={self.n_nodes}"
+            )
+        if self.extension_bits < 0:
+            raise ValueError(
+                f"extension bits must be non-negative, got {self.extension_bits}"
+            )
+
+    def granted(self, node: int) -> bool:
+        """Whether absolute node id ``node`` was granted.
+
+        Asking about the master itself is an error: its grant is decided
+        locally and is not carried in the packet.
+        """
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node id {node} out of range for N={self.n_nodes}")
+        distance = (node - self.master) % self.n_nodes
+        if distance == 0:
+            raise ValueError(
+                "the master's own grant is not carried in the distribution packet"
+            )
+        return self.grants[distance - 1]
+
+    @property
+    def length_bits(self) -> int:
+        """Exact over-fibre length of this packet in bits."""
+        return distribution_packet_length_bits(self.n_nodes, self.extension_bits)
+
+    def serialize(self) -> tuple[int, ...]:
+        """Flatten to the exact over-fibre bit sequence (Figure 5).
+
+        Extension fields are serialised as zero bits: their *content* is
+        modelled at the service layer, only their length matters here.
+        """
+        w = BitWriter()
+        w.write_bit(1)  # start bit
+        for g in self.grants:
+            w.write_bit(1 if g else 0)
+        w.write_uint(self.hp_node, index_field_width(self.n_nodes))
+        for _ in range(self.extension_bits):
+            w.write_bit(0)
+        return w.getvalue()
+
+    @classmethod
+    def parse(
+        cls,
+        bits: tuple[int, ...] | list[int],
+        n_nodes: int,
+        master: int,
+        extension_bits: int = 0,
+    ) -> "DistributionPacket":
+        """Parse the bit sequence back into a packet (receiver context:
+        ring size, master, and expected extension length are known)."""
+        r = BitReader(bits)
+        if r.read_bit() != 1:
+            raise ValueError("distribution packet must begin with a start bit of 1")
+        grants = tuple(bool(r.read_bit()) for _ in range(n_nodes - 1))
+        hp_node = r.read_uint(index_field_width(n_nodes))
+        if hp_node >= n_nodes:
+            raise ValueError(f"hp-node index {hp_node} out of range for N={n_nodes}")
+        for _ in range(extension_bits):
+            r.read_bit()
+        if r.remaining:
+            raise ValueError(f"{r.remaining} trailing bits after distribution packet")
+        return cls(
+            n_nodes=n_nodes,
+            master=master,
+            grants=grants,
+            hp_node=hp_node,
+            extension_bits=extension_bits,
+        )

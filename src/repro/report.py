@@ -1,0 +1,136 @@
+"""Result export: simulation reports and sweeps to CSV.
+
+Experiment pipelines want machine-readable output next to the printed
+tables; this module flattens :class:`~repro.sim.metrics.SimulationReport`
+objects (and whole parameter sweeps of them) into CSV files with plain
+``csv`` from the standard library -- no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from repro.core.priorities import TrafficClass
+from repro.sim.metrics import SimulationReport
+
+#: Columns of the flat report row, in order.
+REPORT_FIELDS: tuple[str, ...] = (
+    "n_nodes",
+    "slots_simulated",
+    "wall_time_s",
+    "utilisation",
+    "packets_sent",
+    "spatial_reuse_factor",
+    "mean_gap_s",
+    "break_denials",
+    "wasted_grants",
+    "rt_released",
+    "rt_delivered",
+    "rt_missed",
+    "rt_miss_ratio",
+    "rt_mean_latency_slots",
+    "be_released",
+    "be_delivered",
+    "be_miss_ratio",
+    "nrt_released",
+    "nrt_delivered",
+)
+
+
+def report_row(report: SimulationReport) -> dict[str, object]:
+    """Flatten one report into a dict matching :data:`REPORT_FIELDS`."""
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    be = report.class_stats(TrafficClass.BEST_EFFORT)
+    nrt = report.class_stats(TrafficClass.NON_REAL_TIME)
+    return {
+        "n_nodes": report.n_nodes,
+        "slots_simulated": report.slots_simulated,
+        "wall_time_s": report.wall_time_s,
+        "utilisation": report.utilisation,
+        "packets_sent": report.packets_sent,
+        "spatial_reuse_factor": report.spatial_reuse_factor,
+        "mean_gap_s": report.mean_gap_s,
+        "break_denials": report.break_denials,
+        "wasted_grants": report.wasted_grants,
+        "rt_released": rt.released,
+        "rt_delivered": rt.delivered,
+        "rt_missed": rt.deadline_missed,
+        "rt_miss_ratio": rt.deadline_miss_ratio,
+        "rt_mean_latency_slots": rt.mean_latency_slots,
+        "be_released": be.released,
+        "be_delivered": be.delivered,
+        "be_miss_ratio": be.deadline_miss_ratio,
+        "nrt_released": nrt.released,
+        "nrt_delivered": nrt.delivered,
+    }
+
+
+def write_report_csv(
+    path: str | Path,
+    reports: Sequence[SimulationReport],
+    parameters: Sequence[Mapping[str, object]] | None = None,
+) -> Path:
+    """Write one CSV row per report.
+
+    ``parameters`` optionally supplies per-report sweep parameters
+    (e.g. ``{"protocol": ..., "target_u": ...}``); their keys become
+    leading columns.  All reports must share the same parameter keys.
+    """
+    path = Path(path)
+    if parameters is not None and len(parameters) != len(reports):
+        raise ValueError(
+            f"{len(parameters)} parameter rows for {len(reports)} reports"
+        )
+    param_keys: list[str] = []
+    if parameters:
+        param_keys = list(parameters[0].keys())
+        for p in parameters:
+            if list(p.keys()) != param_keys:
+                raise ValueError("all parameter rows must share the same keys")
+        overlap = set(param_keys) & set(REPORT_FIELDS)
+        if overlap:
+            raise ValueError(f"parameter keys shadow report fields: {overlap}")
+
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=param_keys + list(REPORT_FIELDS))
+        writer.writeheader()
+        for i, report in enumerate(reports):
+            row = dict(parameters[i]) if parameters else {}
+            row.update(report_row(report))
+            writer.writerow(row)
+    return path
+
+
+def write_connection_csv(path: str | Path, report: SimulationReport) -> Path:
+    """One CSV row per logical real-time connection in a report."""
+    path = Path(path)
+    fields = (
+        "connection_id",
+        "released",
+        "delivered",
+        "dropped",
+        "deadline_missed",
+        "miss_ratio",
+        "mean_latency_slots",
+        "jitter_slots",
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for cid in sorted(report.per_connection):
+            s = report.per_connection[cid]
+            writer.writerow(
+                {
+                    "connection_id": cid,
+                    "released": s.released,
+                    "delivered": s.delivered,
+                    "dropped": s.dropped,
+                    "deadline_missed": s.deadline_missed,
+                    "miss_ratio": s.deadline_miss_ratio,
+                    "mean_latency_slots": s.mean_latency_slots,
+                    "jitter_slots": s.jitter_slots,
+                }
+            )
+    return path

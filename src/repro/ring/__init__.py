@@ -1,0 +1,27 @@
+"""Unidirectional pipelined ring topology and segment algebra.
+
+* :mod:`repro.ring.topology` -- the ring itself: node/link numbering, hop
+  arithmetic, per-segment lengths and propagation delays;
+* :mod:`repro.ring.segments` -- segment (link-set) computation for
+  single-destination, multicast and broadcast transmissions, plus the
+  overlap tests that decide whether two transmissions can share a slot
+  through spatial reuse.
+"""
+
+from repro.ring.topology import RingTopology
+from repro.ring.segments import (
+    links_for_multicast,
+    links_for_unicast,
+    masks_overlap,
+    mask_to_links,
+    links_to_mask,
+)
+
+__all__ = [
+    "RingTopology",
+    "links_for_multicast",
+    "links_for_unicast",
+    "masks_overlap",
+    "mask_to_links",
+    "links_to_mask",
+]

@@ -1,0 +1,99 @@
+"""Segment (link-set) algebra for spatial reuse.
+
+A transmission occupies a contiguous run of ring links -- its *segment*.
+Several transmissions may share one slot as long as their segments do not
+overlap ("the ring can dynamically (for each slot) be partitioned into
+segments to obtain a pipeline optical ring network", Section 2; see
+Figure 2 where node 1 -> 3 and a multicast 4 -> {5, 1} proceed
+simultaneously).
+
+Segments are represented as integer bitmasks over link ids (bit ``l`` set =
+link ``l`` occupied), the same representation the collection-packet link
+reservation field uses (Figure 4), so the master's grant logic operates
+directly on the over-fibre encoding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.ring.topology import RingTopology
+
+
+def links_for_unicast(topology: RingTopology, src: int, dst: int) -> int:
+    """Link mask occupied by a single-destination transmission."""
+    mask = 0
+    for link in topology.path_links(src, dst):
+        mask |= 1 << link
+    return mask
+
+
+def links_for_multicast(topology: RingTopology, src: int, dsts: Iterable[int]) -> int:
+    """Link mask occupied by a multicast (or broadcast) transmission.
+
+    On a unidirectional ring a multicast occupies the path from the source
+    to its *farthest* destination (downstream distance); nearer
+    destinations tap the data as it passes.
+    """
+    dsts = list(dsts)
+    if not dsts:
+        raise ValueError("multicast needs at least one destination")
+    farthest = max(dsts, key=lambda d: topology.distance(src, d))
+    if topology.distance(src, farthest) == 0:
+        raise ValueError(f"multicast from {src} to itself is meaningless")
+    return links_for_unicast(topology, src, farthest)
+
+
+def masks_overlap(a: int, b: int) -> bool:
+    """Whether two link masks share any link (cannot share a slot)."""
+    if a < 0 or b < 0:
+        raise ValueError("link masks must be non-negative")
+    return (a & b) != 0
+
+
+def mask_to_links(mask: int) -> tuple[int, ...]:
+    """Expand a link mask into the sorted tuple of link ids it contains."""
+    if mask < 0:
+        raise ValueError("link masks must be non-negative")
+    links = []
+    link = 0
+    while mask:
+        if mask & 1:
+            links.append(link)
+        mask >>= 1
+        link += 1
+    return tuple(links)
+
+
+def links_to_mask(links: Iterable[int]) -> int:
+    """Build a link mask from an iterable of link ids."""
+    mask = 0
+    for link in links:
+        if link < 0:
+            raise ValueError(f"link ids must be non-negative, got {link}")
+        mask |= 1 << link
+    return mask
+
+
+def is_contiguous_segment(topology: RingTopology, mask: int) -> bool:
+    """Whether ``mask`` is one contiguous run of links on the ring.
+
+    Valid transmissions always reserve contiguous segments; the master may
+    use this to reject malformed requests.  The empty mask and the full
+    ring both count as contiguous.
+    """
+    n = topology.n_nodes
+    if mask < 0 or mask >= (1 << n):
+        raise ValueError(f"link mask {mask:#x} does not fit N={n}")
+    if mask == 0 or mask == (1 << n) - 1:
+        return True
+    # Rotate so that bit 0 is an unoccupied link preceded by an occupied
+    # one; a contiguous mask then has exactly one 0->1 transition around
+    # the ring.
+    transitions = 0
+    for link in range(n):
+        here = (mask >> link) & 1
+        nxt = (mask >> ((link + 1) % n)) & 1
+        if here == 0 and nxt == 1:
+            transitions += 1
+    return transitions == 1

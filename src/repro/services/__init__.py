@@ -1,0 +1,36 @@
+"""User services on top of the MAC (Sections 1 and 7, refs [4][11]).
+
+* :mod:`repro.services.api` -- per-node message submission endpoints and
+  the connection-management client that talks to the admission
+  controller;
+* :mod:`repro.services.barrier` -- barrier synchronisation;
+* :mod:`repro.services.reduction` -- global reduction (all-reduce);
+* :mod:`repro.services.reliable` -- reliable transmission: packet loss,
+  acknowledgement piggybacking, and retransmission accounting;
+* :mod:`repro.services.flowcontrol` -- the flow-control half of reliable
+  transmission: credit-windowed senders against finite receive buffers;
+* :mod:`repro.services.shortmsg` -- the short-message service riding the
+  control channel's extension fields.
+"""
+
+from repro.services.api import ConnectionClient, MessageInjector
+from repro.services.barrier import BarrierCoordinator, BarrierResult
+from repro.services.flowcontrol import ReceiverBuffer, WindowedSender
+from repro.services.reduction import GlobalReduction, ReductionResult
+from repro.services.reliable import PacketLossModel, ReliableStats
+from repro.services.shortmsg import ShortMessage, ShortMessageService
+
+__all__ = [
+    "ConnectionClient",
+    "MessageInjector",
+    "BarrierCoordinator",
+    "BarrierResult",
+    "ReceiverBuffer",
+    "WindowedSender",
+    "GlobalReduction",
+    "ReductionResult",
+    "PacketLossModel",
+    "ReliableStats",
+    "ShortMessage",
+    "ShortMessageService",
+]

@@ -1,0 +1,227 @@
+"""User-facing messaging API.
+
+:class:`MessageInjector` is the per-node endpoint through which
+application code submits individual best-effort and non-real-time
+messages into a running simulation (periodic guaranteed traffic comes
+from admitted connections instead).  Submissions are released at the
+start of the next simulated slot, mirroring hardware where a message
+handed to the transceiver enters arbitration at the next collection
+phase.
+
+:class:`ConnectionClient` models the runtime connection-management
+dialogue of Section 6: requests to open or close a logical real-time
+connection travel to the designated admission-control node as
+best-effort messages; the decision comes back the same way.  The client
+accounts for that round-trip (2 best-effort messages) before a
+connection's traffic may start flowing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+from repro.sim.engine import Simulation
+from repro.traffic.base import TrafficSource
+from repro.traffic.periodic import ConnectionSource
+
+
+@dataclass
+class _Submission:
+    destinations: frozenset[int]
+    traffic_class: TrafficClass
+    size_slots: int
+    relative_deadline_slots: int | None
+    #: Filled in once the message object is created at release time.
+    message: Message | None = None
+
+    @property
+    def delivered(self) -> bool:
+        return (
+            self.message is not None
+            and self.message.status is MessageStatus.DELIVERED
+        )
+
+
+class MessageInjector(TrafficSource):
+    """Per-node endpoint for submitting individual messages.
+
+    Create one per node, pass it to the simulation's sources, then call
+    :meth:`submit` at any time; the message is released at the next slot
+    boundary.  The returned handle exposes the delivery status.
+    """
+
+    def __init__(self, node: int):
+        self.node = node
+        self._pending: list[_Submission] = []
+
+    def submit(
+        self,
+        destinations: Iterable[int],
+        traffic_class: TrafficClass = TrafficClass.BEST_EFFORT,
+        size_slots: int = 1,
+        relative_deadline_slots: int | None = None,
+    ) -> _Submission:
+        """Queue a message for release at the next slot.
+
+        Best-effort messages require a relative deadline (their priority
+        encodes laxity); non-real-time messages must not carry one.
+        """
+        if traffic_class is TrafficClass.RT_CONNECTION:
+            raise ValueError(
+                "guaranteed traffic flows through admitted connections, "
+                "not through the injector"
+            )
+        if traffic_class is TrafficClass.BEST_EFFORT:
+            if relative_deadline_slots is None or relative_deadline_slots < 1:
+                raise ValueError(
+                    "best-effort messages need a positive relative deadline"
+                )
+        elif relative_deadline_slots is not None:
+            raise ValueError("non-real-time messages carry no deadline")
+        sub = _Submission(
+            destinations=frozenset(destinations),
+            traffic_class=traffic_class,
+            size_slots=size_slots,
+            relative_deadline_slots=relative_deadline_slots,
+        )
+        self._pending.append(sub)
+        return sub
+
+    def messages_for_slot(self, slot: int) -> list[Message]:
+        released = []
+        for sub in self._pending:
+            deadline = (
+                slot + sub.relative_deadline_slots
+                if sub.relative_deadline_slots is not None
+                else None
+            )
+            msg = Message(
+                source=self.node,
+                destinations=sub.destinations,
+                traffic_class=sub.traffic_class,
+                size_slots=sub.size_slots,
+                created_slot=slot,
+                deadline_slot=deadline,
+            )
+            sub.message = msg
+            released.append(msg)
+        self._pending.clear()
+        return released
+
+
+class ConnectionClient:
+    """Runtime connection set-up/tear-down through the admission node.
+
+    Section 6: a designated node runs admission control; nodes talk to it
+    via the best-effort service.  This client sends the request as a
+    best-effort message from the connection's source to the admission
+    node, applies the admission test on arrival, sends the reply back,
+    and only then (on acceptance) activates the connection's periodic
+    source.
+
+    Drives the supplied simulation while waiting, so the signalling cost
+    is measured in real network slots.
+    """
+
+    #: Relative deadline for signalling messages (best-effort class).
+    SIGNALLING_DEADLINE_SLOTS = 64
+
+    def __init__(
+        self,
+        sim: Simulation,
+        controller: AdmissionController,
+        admission_node: int,
+        injectors: dict[int, MessageInjector],
+    ):
+        n = sim.topology.n_nodes
+        if not (0 <= admission_node < n):
+            raise ValueError(
+                f"admission node {admission_node} out of range for N={n}"
+            )
+        self.sim = sim
+        self.controller = controller
+        self.admission_node = admission_node
+        self.injectors = injectors
+
+    def _await_delivery(self, submission: _Submission, max_slots: int) -> int:
+        """Step the simulation until the message is delivered."""
+        start = self.sim.current_slot
+        while not submission.delivered:
+            if self.sim.current_slot - start >= max_slots:
+                raise TimeoutError(
+                    "signalling message not delivered within "
+                    f"{max_slots} slots"
+                )
+            self.sim.step()
+        return self.sim.current_slot - start
+
+    def open(
+        self,
+        connection: LogicalRealTimeConnection,
+        max_wait_slots: int = 10_000,
+    ) -> tuple[AdmissionDecision, int]:
+        """Request admission of a connection; activate it if accepted.
+
+        Returns the admission decision and the number of slots the whole
+        signalling round-trip took.  If the requesting node *is* the
+        admission node, the test is local and costs nothing.
+        """
+        used = 0
+        src = connection.source
+        if src != self.admission_node:
+            req = self.injectors[src].submit(
+                destinations=[self.admission_node],
+                traffic_class=TrafficClass.BEST_EFFORT,
+                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
+            )
+            used += self._await_delivery(req, max_wait_slots)
+
+        decision = self.controller.request(connection)
+
+        if src != self.admission_node:
+            reply = self.injectors[self.admission_node].submit(
+                destinations=[src],
+                traffic_class=TrafficClass.BEST_EFFORT,
+                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
+            )
+            used += self._await_delivery(reply, max_wait_slots)
+
+        if decision.accepted:
+            # Activate the periodic source from the next slot on.
+            self.sim.sources = self.sim.sources + (
+                ConnectionSource(connection, active_from=self.sim.current_slot),
+            )
+        return decision, used
+
+    def close(self, connection_id: int, max_wait_slots: int = 10_000) -> int:
+        """Tear a connection down; returns the signalling cost in slots.
+
+        The connection's source stops releasing from the current slot on
+        (its :class:`ConnectionSource` is deactivated) and the admission
+        set is updated.
+        """
+        connection = self.controller.remove(connection_id)
+        used = 0
+        if connection.source != self.admission_node:
+            req = self.injectors[connection.source].submit(
+                destinations=[self.admission_node],
+                traffic_class=TrafficClass.BEST_EFFORT,
+                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
+            )
+            used = self._await_delivery(req, max_wait_slots)
+        # Deactivate the periodic source.
+        new_sources = []
+        for src in self.sim.sources:
+            if (
+                isinstance(src, ConnectionSource)
+                and src.connection.connection_id == connection_id
+            ):
+                continue
+            new_sources.append(src)
+        self.sim.sources = tuple(new_sources)
+        return used

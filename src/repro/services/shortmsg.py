@@ -1,0 +1,135 @@
+"""The short-message service on the control channel.
+
+The paper lists "short messages" among the services for parallel and
+distributed systems (Sections 1 and 7; ref. [11] describes them riding
+the control channel).  The distribution-phase packet carries extension
+fields beyond the arbitration result (Figure 5: "other fields ...
+acknowledgement for transmission etc."); a fixed budget of those bits
+per slot can carry small payloads -- flags, counters, scalars -- without
+ever consuming a data slot.
+
+:class:`ShortMessageService` models that budget: a global FIFO of short
+messages, drained at ``capacity_bits`` per slot.  Because the control
+channel is broadcast (every node reads the distribution packet), every
+short message is implicitly a broadcast with per-destination filtering.
+Step it alongside the simulation to measure delivery latencies under a
+given bit budget, and use :meth:`extension_bits` to account for the
+control-packet growth in the Equation (2) minimum slot length.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+_shortmsg_ids = itertools.count()
+
+
+@dataclass
+class ShortMessage:
+    """One short payload queued on the control channel."""
+
+    source: int
+    destination: int
+    payload_bits: int
+    submitted_slot: int
+    msg_id: int = field(default_factory=lambda: next(_shortmsg_ids))
+    #: Slot whose distribution packet completed this message (set on
+    #: delivery).
+    delivered_slot: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 1:
+            raise ValueError(
+                f"payload must be at least 1 bit, got {self.payload_bits}"
+            )
+        if self.submitted_slot < 0:
+            raise ValueError(
+                f"submitted slot must be non-negative, got {self.submitted_slot}"
+            )
+
+    @property
+    def latency_slots(self) -> int | None:
+        """Slots from submission to delivery (``None`` while queued)."""
+        if self.delivered_slot is None:
+            return None
+        return self.delivered_slot - self.submitted_slot + 1
+
+
+class ShortMessageService:
+    """FIFO short-message delivery over the distribution packet's
+    extension bits.
+
+    Parameters
+    ----------
+    capacity_bits:
+        Extension bits available per slot for short-message payloads
+        (plus per-message addressing overhead, see ``header_bits``).
+    header_bits:
+        Fixed per-message overhead (source/destination addressing and
+        length); defaults to 16, generous for rings up to 256 nodes.
+    """
+
+    def __init__(self, capacity_bits: int = 64, header_bits: int = 16):
+        if capacity_bits < 1:
+            raise ValueError(f"capacity must be >= 1 bit, got {capacity_bits}")
+        if header_bits < 0:
+            raise ValueError(f"header bits must be non-negative, got {header_bits}")
+        if header_bits >= capacity_bits:
+            raise ValueError(
+                f"per-slot capacity ({capacity_bits} bits) cannot even fit "
+                f"one message header ({header_bits} bits)"
+            )
+        self.capacity_bits = capacity_bits
+        self.header_bits = header_bits
+        self._queue: deque[tuple[ShortMessage, int]] = deque()
+        self.delivered: list[ShortMessage] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def extension_bits(self) -> int:
+        """Distribution-packet growth this service implies (Figure 5)."""
+        return self.capacity_bits
+
+    def submit(
+        self, source: int, destination: int, payload_bits: int, slot: int
+    ) -> ShortMessage:
+        """Queue a short message at ``slot``."""
+        msg = ShortMessage(
+            source=source,
+            destination=destination,
+            payload_bits=payload_bits,
+            submitted_slot=slot,
+        )
+        self._queue.append((msg, payload_bits + self.header_bits))
+        return msg
+
+    def step(self, slot: int) -> list[ShortMessage]:
+        """Drain up to ``capacity_bits`` from the queue for this slot.
+
+        A message larger than one slot's budget is fragmented across
+        consecutive slots (its header is paid once).  Returns the
+        messages completed this slot.
+        """
+        budget = self.capacity_bits
+        completed: list[ShortMessage] = []
+        while self._queue and budget > 0:
+            msg, remaining = self._queue[0]
+            took = min(budget, remaining)
+            budget -= took
+            remaining -= took
+            if remaining == 0:
+                self._queue.popleft()
+                msg.delivered_slot = slot
+                completed.append(msg)
+                self.delivered.append(msg)
+            else:
+                self._queue[0] = (msg, remaining)
+        return completed
+
+    @property
+    def backlog(self) -> int:
+        """Messages still queued (including a partially sent head)."""
+        return len(self._queue)

@@ -1,0 +1,45 @@
+"""Slot-level discrete-event simulator of the CCR-EDF ring.
+
+The protocol is globally synchronous per slot, so the engine advances one
+slot at a time and accumulates continuous wall-clock time from slot
+durations plus the variable inter-slot clock hand-over gaps -- the
+quantity that makes utilisation strictly less than 1 (Equation 6).
+
+* :mod:`repro.sim.engine` -- the :class:`Simulation` slot loop;
+* :mod:`repro.sim.metrics` -- per-message and per-slot accounting and the
+  :class:`SimulationReport` aggregate;
+* :mod:`repro.sim.faults` -- node-failure and control-loss injection with
+  the timeout/designated-node recovery sketched in the paper's future
+  work;
+* :mod:`repro.sim.trace` -- optional per-slot event trace and wire-format
+  verification;
+* :mod:`repro.sim.runner` -- one-call scenario helpers used by examples
+  and benchmarks.
+"""
+
+from repro.sim.engine import Simulation
+from repro.sim.metrics import ClassStats, ConnectionStats, MetricsCollector, SimulationReport
+from repro.sim.faults import FaultInjector
+from repro.sim.trace import SlotTrace, TraceRecord
+from repro.sim.batch import BatchResult, MetricSummary, replicate
+from repro.sim.control_channel import ControlChannelTimeline, compute_timeline, verify_all_masters
+from repro.sim.runner import ScenarioConfig, run_scenario
+
+__all__ = [
+    "Simulation",
+    "ClassStats",
+    "ConnectionStats",
+    "MetricsCollector",
+    "SimulationReport",
+    "FaultInjector",
+    "SlotTrace",
+    "TraceRecord",
+    "BatchResult",
+    "MetricSummary",
+    "replicate",
+    "ControlChannelTimeline",
+    "compute_timeline",
+    "verify_all_masters",
+    "ScenarioConfig",
+    "run_scenario",
+]

@@ -1,0 +1,148 @@
+"""In-slot timing of the control channel (the dynamic side of Eq. 2).
+
+:class:`NetworkTiming.min_slot_length_s` enforces Equation (2)
+statically.  This module computes the same constraint *event by event*
+for a concrete slot: when the collection packet reaches each node, when
+it returns to the master, when the distribution packet has reached the
+last node -- so the simulator (or a test) can verify that the
+arbitration pipeline genuinely completes inside every slot, at bit-time
+resolution, for any topology including heterogeneous rings.
+
+Timeline of one slot of length ``t_slot``, master ``M`` (all times from
+slot start):
+
+* ``t = 0``            -- ``M`` emits the collection packet's start bit;
+* node ``i`` hops downstream receives the (partial) packet after the
+  cumulative propagation to it plus the upstream nodes' transit and
+  append delays, appends its own request, and forwards;
+* the packet returns to ``M`` after the full circle;
+* ``M`` needs the whole packet (serialisation of the final bits) plus
+  processing, then emits the distribution packet timed to end exactly
+  at ``t_slot`` (Section 3: "a distribution packet is sent so that the
+  end of the packet corresponds with the end of the slot");
+* the distribution packet must therefore *start* early enough -- the
+  feasibility condition :meth:`ControlChannelTimeline.feasible`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timing import NetworkTiming
+from repro.phy.packets import (
+    PRIORITY_FIELD_BITS,
+    distribution_packet_length_bits,
+)
+
+
+@dataclass(frozen=True)
+class ControlChannelTimeline:
+    """All in-slot control events of one slot, in seconds from slot start."""
+
+    #: Time the collection packet (fully appended) is back and parsed at
+    #: the master.
+    collection_complete_s: float
+    #: Latest moment the distribution packet may start so that its end
+    #: coincides with the end of the slot.
+    distribution_latest_start_s: float
+    #: Time at which node ``i`` (indexed by downstream distance from the
+    #: master, 1..N-1) has received the complete distribution packet.
+    distribution_arrival_s: tuple[float, ...]
+    #: The slot length the timeline was computed against.
+    slot_length_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the whole arbitration fits inside the slot.
+
+        A picosecond of float tolerance (five orders of magnitude below
+        one bit time) keeps exact-boundary configurations feasible.
+        """
+        return (
+            self.collection_complete_s
+            <= self.distribution_latest_start_s + 1e-12
+        )
+
+    @property
+    def slack_s(self) -> float:
+        """Idle control-channel time between phases (>= 0 iff feasible)."""
+        return self.distribution_latest_start_s - self.collection_complete_s
+
+
+def compute_timeline(
+    timing: NetworkTiming, master: int, extension_bits: int = 0
+) -> ControlChannelTimeline:
+    """Build the control-channel timeline for one slot mastered by
+    ``master``.
+
+    Works for heterogeneous rings: propagation uses the actual segment
+    delays along the packet's path.
+    """
+    topology = timing.topology
+    link = timing.link
+    n = topology.n_nodes
+    bit = link.bit_time_s
+    request_bits = PRIORITY_FIELD_BITS + 2 * n
+
+    # --- collection phase ------------------------------------------------
+    # The start bit leaves the master at t = 0.  Each downstream node
+    # adds: propagation of one segment, its transit/processing delay,
+    # and the serialisation of its own appended request.
+    t = bit  # the start bit itself
+    node = master
+    for _ in range(n - 1):
+        t += topology.segments[node].propagation_delay_s
+        node = topology.downstream(node)
+        t += timing.node_delay_s
+        t += request_bits * bit
+    # Final segment back to the master, which appends its own request
+    # while parsing.
+    t += topology.segments[node].propagation_delay_s
+    t += timing.node_delay_s + request_bits * bit
+    collection_complete = t
+
+    # --- distribution phase ----------------------------------------------
+    dist_bits = distribution_packet_length_bits(n, extension_bits)
+    dist_serialisation = dist_bits * bit
+    # The packet's *end* must coincide with the slot's end at the master;
+    # its start is therefore t_slot - serialisation time.
+    latest_start = timing.slot_length_s - dist_serialisation
+
+    arrivals = []
+    t_prop = 0.0
+    node = master
+    for _ in range(1, n):
+        t_prop += topology.segments[node].propagation_delay_s
+        node = topology.downstream(node)
+        arrivals.append(latest_start + dist_serialisation + t_prop)
+
+    return ControlChannelTimeline(
+        collection_complete_s=collection_complete,
+        distribution_latest_start_s=latest_start,
+        distribution_arrival_s=tuple(arrivals),
+        slot_length_s=timing.slot_length_s,
+    )
+
+
+def verify_all_masters(
+    timing: NetworkTiming, extension_bits: int = 0
+) -> dict[int, ControlChannelTimeline]:
+    """Timelines for every possible master; raises if any is infeasible.
+
+    Called once per configuration (the timeline depends only on the
+    master, not on traffic), this proves the Figure 3 overlap holds for
+    the whole run.
+    """
+    out = {}
+    for master in range(timing.topology.n_nodes):
+        tl = compute_timeline(timing, master, extension_bits)
+        if not tl.feasible:
+            raise ValueError(
+                f"slot too short: with master {master} the collection "
+                f"phase ends at {tl.collection_complete_s * 1e6:.3f} us "
+                f"but the distribution packet must start by "
+                f"{tl.distribution_latest_start_s * 1e6:.3f} us "
+                f"(slot {tl.slot_length_s * 1e6:.3f} us)"
+            )
+        out[master] = tl
+    return out

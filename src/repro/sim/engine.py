@@ -1,0 +1,236 @@
+"""The simulation engine: a slot loop with continuous-time bookkeeping.
+
+Each iteration executes one slot of the ring: traffic release, the
+transmissions decided by the *previous* slot's arbitration (the Figure 3
+pipeline), and the arbitration for the *next* slot.  Wall-clock time
+accumulates as ``slot_length + hand-over gap`` per slot, where the gap is
+the variable quantity Equation (1) describes -- zero when the master keeps
+the clock, up to ``(N-1)`` link delays when it moves to the upstream
+neighbour.
+
+Fault semantics (experiment S9): a failed node is fail-stop with passive
+optical pass-through -- it stops releasing, requesting, transmitting and
+clocking, but light still traverses its links, so the rest of the ring
+keeps operating.  When the node due to clock a slot is dead, or the
+distribution packet announcing it was lost, the remaining nodes time out
+and the designated node restarts the clock (the recovery sketched in the
+paper's Section 8), voiding that slot's grants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.core.messages import MessageStatus
+from repro.core.protocol import MacProtocol, SlotOutcome, SlotPlan
+from repro.core.queues import NodeQueues
+from repro.core.timing import NetworkTiming
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.trace import SlotTrace
+from repro.traffic.base import TrafficSource
+
+
+class Simulation:
+    """Drives one MAC protocol over one workload.
+
+    Parameters
+    ----------
+    timing:
+        Network timing model; supplies the topology and the slot length.
+    protocol:
+        The MAC under test (CCR-EDF or a baseline).
+    sources:
+        Traffic sources; several may share a node.
+    initial_master:
+        Node clocking slot 0.
+    drop_late:
+        If True, queued messages that can no longer meet their deadline
+        are dropped at the start of each slot (counted as misses); if
+        False (default) they stay queued and miss on delivery.
+    trace:
+        Optional :class:`~repro.sim.trace.SlotTrace` to record events.
+    faults:
+        Optional fault script.
+    loss_model:
+        Optional per-packet loss model (reliable-transmission service).
+        A lost packet consumes its slot but makes no progress; the sender
+        learns of the loss from the acknowledgement piggybacked in the
+        next distribution packet (refs [4][11]) and simply re-requests,
+        so retransmission costs exactly one extra slot of that message's
+        traffic and zero control bandwidth.
+    """
+
+    def __init__(
+        self,
+        timing: NetworkTiming,
+        protocol: MacProtocol,
+        sources: Sequence[TrafficSource] = (),
+        initial_master: int = 0,
+        drop_late: bool = False,
+        trace: SlotTrace | None = None,
+        faults: FaultInjector | None = None,
+        loss_model: "PacketLossModel | None" = None,
+    ):
+        self.timing = timing
+        self.protocol = protocol
+        self.topology = protocol.topology
+        n = self.topology.n_nodes
+        if timing.topology.n_nodes != n:
+            raise ValueError(
+                "timing model and protocol disagree on the ring size"
+            )
+        if not (0 <= initial_master < n):
+            raise ValueError(
+                f"initial master {initial_master} out of range for N={n}"
+            )
+        for src in sources:
+            if not (0 <= src.node < n):
+                raise ValueError(
+                    f"source attached to node {src.node}, outside the ring"
+                )
+        self.sources = tuple(sources)
+        self.drop_late = drop_late
+        self.trace = trace
+        self.faults = faults
+        self.loss_model = loss_model
+        #: Packets lost and later retransmitted (reliable service stats).
+        self.packets_lost = 0
+
+        self.queues: dict[int, NodeQueues] = {i: NodeQueues(i) for i in range(n)}
+        self._empty_queues: dict[int, NodeQueues] = {}
+        self.metrics = MetricsCollector(n)
+        self.current_slot = 0
+        self._prev_master = initial_master
+        self._control_lost_last_slot = False
+        # Slot 0 has no preceding arbitration: the initial master clocks an
+        # idle slot while the first collection/distribution round runs.
+        self._plan = SlotPlan(
+            transmit_slot=0, master=initial_master, gap_s=0.0
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def report(self) -> SimulationReport:
+        """The accumulated measurement report."""
+        return self.metrics.report
+
+    def _alive(self, node: int, slot: int) -> bool:
+        return self.faults is None or self.faults.is_alive(node, slot)
+
+    def _apply_recovery(self, plan: SlotPlan, slot: int) -> SlotPlan:
+        """Replace a plan whose master cannot clock (or was never learnt).
+
+        The designated node assumes the master role after the timeout;
+        all grants of the affected slot are void.
+        """
+        assert self.faults is not None
+        designated = self.faults.designated_node(slot, self.topology.n_nodes)
+        return dataclasses.replace(
+            plan,
+            master=designated,
+            gap_s=plan.gap_s + self.faults.recovery_timeout_s,
+            transmissions=(),
+        )
+
+    def step(self) -> SlotOutcome:
+        """Execute one slot and plan the next; returns what happened."""
+        slot = self.current_slot
+        plan = self._plan
+
+        # --- fault handling: does this slot's clock actually start? ----
+        if self.faults is not None:
+            master_dead = not self._alive(plan.master, slot)
+            if master_dead or self._control_lost_last_slot:
+                plan = self._apply_recovery(plan, slot)
+            elif plan.transmissions:
+                # Void grants of transmitters that died meanwhile.
+                live = tuple(
+                    tx for tx in plan.transmissions if self._alive(tx.node, slot)
+                )
+                if len(live) != len(plan.transmissions):
+                    plan = dataclasses.replace(plan, transmissions=live)
+        self._control_lost_last_slot = False
+
+        # --- traffic release -------------------------------------------
+        for src in self.sources:
+            if not self._alive(src.node, slot):
+                continue
+            for msg in src.messages_for_slot(slot):
+                if msg.source != src.node or msg.created_slot != slot:
+                    raise ValueError(
+                        f"source at node {src.node} produced an inconsistent "
+                        f"message (source={msg.source}, "
+                        f"created_slot={msg.created_slot}, slot={slot})"
+                    )
+                self.queues[msg.source].enqueue(msg)
+                self.metrics.on_release(msg)
+
+        # --- late-drop policy -------------------------------------------
+        if self.drop_late:
+            for queues in self.queues.values():
+                for dropped in queues.drop_late(slot):
+                    self.metrics.on_drop(dropped)
+
+        # --- packet loss (reliable-transmission service) ----------------
+        if self.loss_model is not None and plan.transmissions:
+            kept = tuple(
+                tx
+                for tx in plan.transmissions
+                if not self.loss_model.lost(tx, slot)
+            )
+            self.packets_lost += len(plan.transmissions) - len(kept)
+            if len(kept) != len(plan.transmissions):
+                plan = dataclasses.replace(plan, transmissions=kept)
+
+        # --- execute the planned transmissions --------------------------
+        outcome = self.protocol.execute_plan(plan)
+        for tx in outcome.transmitted:
+            if tx.message.status is MessageStatus.DELIVERED:
+                self.metrics.on_delivery(tx.message)
+
+        # --- arbitration for the next slot ------------------------------
+        queues_view: Mapping[int, NodeQueues] = self.queues
+        if self.faults is not None:
+            view: dict[int, NodeQueues] = {}
+            for node, q in self.queues.items():
+                if self._alive(node, slot):
+                    view[node] = q
+                else:
+                    # A dead node appends nothing: present an empty queue.
+                    if node not in self._empty_queues:
+                        self._empty_queues[node] = NodeQueues(node)
+                    view[node] = self._empty_queues[node]
+            queues_view = view
+        next_plan = self.protocol.plan_slot(slot, outcome.master, queues_view)
+        if self.faults is not None and self.faults.control_lost(slot):
+            self._control_lost_last_slot = True
+
+        # --- accounting --------------------------------------------------
+        hops = self.topology.distance(self._prev_master, outcome.master)
+        self.metrics.on_slot(
+            outcome, plan, self.timing.slot_length_s, handover_hops=hops
+        )
+        if self.trace is not None:
+            self.trace.on_slot(
+                outcome,
+                plan,
+                next_plan,
+                collection=next_plan.collection_packet,
+                distribution=next_plan.distribution_packet,
+            )
+
+        self._prev_master = outcome.master
+        self._plan = next_plan
+        self.current_slot += 1
+        return outcome
+
+    def run(self, n_slots: int) -> SimulationReport:
+        """Execute ``n_slots`` slots and return the accumulated report."""
+        if n_slots < 0:
+            raise ValueError(f"slot count must be non-negative, got {n_slots}")
+        for _ in range(n_slots):
+            self.step()
+        return self.report

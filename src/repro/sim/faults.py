@@ -1,0 +1,79 @@
+"""Fault injection and recovery (the paper's Section 8 future work).
+
+The paper leaves two failure modes open and sketches the remedy: "The
+current study also assumes that the token is never lost.  In a real
+implementation, using a time out and a designated node that always will
+start could solve this."  This module implements exactly that recovery
+scheme so experiment S9 can measure its cost:
+
+* **node failure**: from a given slot on, a node stops releasing traffic,
+  stops appending requests, and cannot transmit or clock.  If it was due
+  to become master, the clock never starts;
+* **control loss**: the distribution packet of one slot is lost, so no
+  node learns the arbitration result or the next master;
+* **recovery**: when the expected clock does not appear within the
+  timeout, the *designated node* (the lowest-id live node) assumes the
+  master role, the affected slot's grants are void, and operation
+  resumes -- at the price of one timeout interval plus one idle slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultInjector:
+    """A scripted set of faults plus the recovery parameters.
+
+    Parameters
+    ----------
+    node_failures:
+        Mapping ``node -> slot``: the node is dead from that slot onward.
+    control_loss_slots:
+        Slots whose distribution packet is lost (the plan decided during
+        that slot never reaches the nodes).
+    recovery_timeout_s:
+        How long nodes wait for the clock before the designated node
+        takes over.  Must exceed the worst hand-over gap, or healthy
+        hand-overs would be mistaken for failures.
+    """
+
+    node_failures: dict[int, int] = field(default_factory=dict)
+    control_loss_slots: frozenset[int] = frozenset()
+    recovery_timeout_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.recovery_timeout_s <= 0:
+            raise ValueError(
+                f"recovery timeout must be positive, got {self.recovery_timeout_s}"
+            )
+        for node, slot in self.node_failures.items():
+            if slot < 0:
+                raise ValueError(
+                    f"failure slot for node {node} must be non-negative, got {slot}"
+                )
+
+    def is_alive(self, node: int, slot: int) -> bool:
+        """Whether ``node`` is operational during ``slot``."""
+        failed_at = self.node_failures.get(node)
+        return failed_at is None or slot < failed_at
+
+    def control_lost(self, slot: int) -> bool:
+        """Whether the distribution packet sent during ``slot`` is lost."""
+        return slot in self.control_loss_slots
+
+    def designated_node(self, slot: int, n_nodes: int) -> int:
+        """The node that restarts the clock after a timeout.
+
+        The paper's "designated node that always will start": we use the
+        lowest-id node still alive.
+        """
+        for node in range(n_nodes):
+            if self.is_alive(node, slot):
+                return node
+        raise RuntimeError("all nodes have failed; the network is dead")
+
+    def any_faults_configured(self) -> bool:
+        """Whether this injector scripts any fault at all."""
+        return bool(self.node_failures) or bool(self.control_loss_slots)

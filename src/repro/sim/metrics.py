@@ -1,0 +1,297 @@
+"""Measurement: per-message and per-slot accounting.
+
+The collector observes every message release, delivery and drop, and
+every executed slot, and reduces them into a :class:`SimulationReport` --
+the object all experiments read their numbers from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import SlotOutcome, SlotPlan
+
+
+@dataclass
+class ConnectionStats:
+    """Aggregates for one logical real-time connection.
+
+    Latency *jitter* (the spread between fastest and slowest delivery)
+    matters to streaming applications at least as much as the mean; both
+    are derived here per connection.
+    """
+
+    connection_id: int
+    released: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    latencies_slots: list[int] = field(default_factory=list)
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Missed deadlines (incl. drops) over all decided messages."""
+        denom = self.deadline_met + self.deadline_missed
+        if denom == 0:
+            return 0.0
+        return self.deadline_missed / denom
+
+    @property
+    def mean_latency_slots(self) -> float:
+        """Mean delivery latency in slots (NaN before any delivery)."""
+        if not self.latencies_slots:
+            return float("nan")
+        return float(np.mean(self.latencies_slots))
+
+    @property
+    def jitter_slots(self) -> int:
+        """Peak-to-peak delivery latency spread."""
+        if len(self.latencies_slots) < 2:
+            return 0
+        return int(max(self.latencies_slots) - min(self.latencies_slots))
+
+    @property
+    def latency_std_slots(self) -> float:
+        """Standard deviation of delivery latencies, in slots."""
+        if len(self.latencies_slots) < 2:
+            return 0.0
+        return float(np.std(self.latencies_slots))
+
+
+@dataclass
+class ClassStats:
+    """Aggregates for one traffic class."""
+
+    released: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
+    #: Delivery latencies in slots (completion - creation + 1, i.e. the
+    #: number of slots the message spanned).
+    latencies_slots: list[int] = field(default_factory=list)
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Missed deadlines (incl. drops of deadline traffic) / released.
+
+        0.0 when nothing with a deadline was released.
+        """
+        denom = self.deadline_met + self.deadline_missed
+        if denom == 0:
+            return 0.0
+        return self.deadline_missed / denom
+
+    @property
+    def mean_latency_slots(self) -> float:
+        """Mean delivery latency in slots (NaN before any delivery)."""
+        if not self.latencies_slots:
+            return float("nan")
+        return float(np.mean(self.latencies_slots))
+
+    @property
+    def max_latency_slots(self) -> int:
+        """Largest delivery latency observed, in slots."""
+        if not self.latencies_slots:
+            return 0
+        return int(max(self.latencies_slots))
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of delivery latencies, in slots."""
+        if not self.latencies_slots:
+            return float("nan")
+        return float(np.percentile(self.latencies_slots, q))
+
+
+@dataclass
+class SimulationReport:
+    """Everything one simulation run measured."""
+
+    n_nodes: int
+    slots_simulated: int = 0
+    #: Accumulated wall-clock time [s]: slot durations + hand-over gaps.
+    wall_time_s: float = 0.0
+    #: Time spent inside slots (data-carrying time) [s].
+    slot_time_s: float = 0.0
+    #: Time spent in inter-slot hand-over gaps [s].
+    gap_time_s: float = 0.0
+    #: Slots in which at least one packet was transmitted.
+    busy_slots: int = 0
+    #: Total data-packets transmitted.
+    packets_sent: int = 0
+    #: Grants that went unused.
+    wasted_grants: int = 0
+    #: Requests denied because their path crossed the clock break.
+    break_denials: int = 0
+    #: Hand-over hop distances, one per executed slot (0 = master kept).
+    handover_hops: Counter = field(default_factory=Counter)
+    #: How many slots each node spent as master.
+    master_slots: Counter = field(default_factory=Counter)
+    per_class: dict[TrafficClass, ClassStats] = field(
+        default_factory=lambda: {tc: ClassStats() for tc in TrafficClass}
+    )
+    #: Per-connection aggregates, keyed by connection id (RT class only).
+    per_connection: dict[int, ConnectionStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def spatial_reuse_factor(self) -> float:
+        """Mean simultaneous transmissions per busy slot (>= 1)."""
+        if self.busy_slots == 0:
+            return float("nan")
+        return self.packets_sent / self.busy_slots
+
+    @property
+    def throughput_packets_per_slot(self) -> float:
+        """Packets per simulated slot (aggregate, all segments)."""
+        if self.slots_simulated == 0:
+            return float("nan")
+        return self.packets_sent / self.slots_simulated
+
+    @property
+    def throughput_packets_per_s(self) -> float:
+        """Packets per second of simulated wall-clock time."""
+        if self.wall_time_s == 0:
+            return float("nan")
+        return self.packets_sent / self.wall_time_s
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of wall time inside data slots (upper-bounded by the
+        analytical ``U_max`` when every gap is worst case)."""
+        if self.wall_time_s == 0:
+            return float("nan")
+        return self.slot_time_s / self.wall_time_s
+
+    @property
+    def effective_utilisation(self) -> float:
+        """Fraction of wall time carrying at least one data packet."""
+        if self.wall_time_s == 0 or self.slots_simulated == 0:
+            return float("nan")
+        return (self.busy_slots / self.slots_simulated) * self.utilisation
+
+    @property
+    def mean_gap_s(self) -> float:
+        """Mean inter-slot hand-over gap across the run."""
+        if self.slots_simulated == 0:
+            return float("nan")
+        return self.gap_time_s / self.slots_simulated
+
+    def class_stats(self, traffic_class: TrafficClass) -> ClassStats:
+        """Aggregates for one traffic class."""
+        return self.per_class[traffic_class]
+
+    def connection_stats(self, connection_id: int) -> ConnectionStats:
+        """Aggregates for one connection (present once it released)."""
+        try:
+            return self.per_connection[connection_id]
+        except KeyError:
+            raise KeyError(
+                f"connection {connection_id} released no messages in this run"
+            ) from None
+
+    @property
+    def total_released(self) -> int:
+        """Messages released across all classes."""
+        return sum(s.released for s in self.per_class.values())
+
+    @property
+    def total_delivered(self) -> int:
+        """Messages delivered across all classes."""
+        return sum(s.delivered for s in self.per_class.values())
+
+    @property
+    def overall_deadline_miss_ratio(self) -> float:
+        """Miss ratio pooled over every deadline-bearing class."""
+        met = sum(s.deadline_met for s in self.per_class.values())
+        missed = sum(s.deadline_missed for s in self.per_class.values())
+        if met + missed == 0:
+            return 0.0
+        return missed / (met + missed)
+
+
+class MetricsCollector:
+    """Feeds a :class:`SimulationReport` from engine callbacks."""
+
+    def __init__(self, n_nodes: int):
+        self.report = SimulationReport(n_nodes=n_nodes)
+
+    # --- message lifecycle --------------------------------------------
+
+    def _connection_stats(self, message: Message) -> ConnectionStats | None:
+        if message.connection_id is None:
+            return None
+        return self.report.per_connection.setdefault(
+            message.connection_id, ConnectionStats(message.connection_id)
+        )
+
+    def on_release(self, message: Message) -> None:
+        """Account a newly released message."""
+        self.report.per_class[message.traffic_class].released += 1
+        conn = self._connection_stats(message)
+        if conn is not None:
+            conn.released += 1
+
+    def on_delivery(self, message: Message) -> None:
+        """Account a completed delivery (latency, deadline verdict)."""
+        stats = self.report.per_class[message.traffic_class]
+        stats.delivered += 1
+        assert message.completed_slot is not None
+        latency = message.completed_slot - message.created_slot + 1
+        stats.latencies_slots.append(latency)
+        met = message.met_deadline()
+        if met is True:
+            stats.deadline_met += 1
+        elif met is False:
+            stats.deadline_missed += 1
+        conn = self._connection_stats(message)
+        if conn is not None:
+            conn.delivered += 1
+            conn.latencies_slots.append(latency)
+            if met is True:
+                conn.deadline_met += 1
+            elif met is False:
+                conn.deadline_missed += 1
+
+    def on_drop(self, message: Message) -> None:
+        """Account a dropped message (a miss if it had a deadline)."""
+        stats = self.report.per_class[message.traffic_class]
+        stats.dropped += 1
+        if message.deadline_slot is not None:
+            # A dropped deadline-bearing message is a missed deadline.
+            stats.deadline_missed += 1
+        conn = self._connection_stats(message)
+        if conn is not None:
+            conn.dropped += 1
+            conn.deadline_missed += 1
+
+    # --- slot lifecycle -------------------------------------------------
+
+    def on_slot(
+        self,
+        outcome: SlotOutcome,
+        plan: SlotPlan,
+        slot_length_s: float,
+        handover_hops: int,
+    ) -> None:
+        """Account one executed slot (time, grants, hand-over)."""
+        r = self.report
+        r.slots_simulated += 1
+        r.wall_time_s += slot_length_s + outcome.gap_s
+        r.slot_time_s += slot_length_s
+        r.gap_time_s += outcome.gap_s
+        r.master_slots[outcome.master] += 1
+        r.handover_hops[handover_hops] += 1
+        n_tx = len(outcome.transmitted)
+        if n_tx:
+            r.busy_slots += 1
+            r.packets_sent += n_tx
+        r.wasted_grants += len(outcome.wasted)
+        r.break_denials += len(plan.denied_by_break)

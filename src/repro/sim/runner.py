@@ -1,0 +1,142 @@
+"""One-call scenario helpers used by examples and benchmarks.
+
+A :class:`ScenarioConfig` names a protocol, a network configuration, and
+a workload; :func:`run_scenario` builds the whole stack (topology, timing
+model, protocol, sources, simulation) and runs it.  Keeping this in one
+place guarantees every experiment compares protocols on byte-identical
+networks and workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.ccfpr import CcFprProtocol
+from repro.baselines.tdma import TdmaProtocol
+from repro.baselines.upper_edf import make_upper_layer_edf
+from repro.core.arbitration import Arbiter
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.mapping import LaxityMapping
+from repro.core.protocol import CcrEdfProtocol, MacProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.constants import (
+    DEFAULT_LINK_LENGTH_M,
+    DEFAULT_NODE_DELAY_S,
+    DEFAULT_SLOT_PAYLOAD_BYTES,
+)
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import SimulationReport
+from repro.sim.trace import SlotTrace
+from repro.traffic.base import TrafficSource
+from repro.traffic.periodic import ConnectionSource
+
+#: Protocol names accepted by :func:`make_protocol`.
+PROTOCOLS = ("ccr-edf", "upper-edf", "ccfpr", "tdma")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete, reproducible experiment description."""
+
+    n_nodes: int
+    protocol: str = "ccr-edf"
+    link_length_m: float = DEFAULT_LINK_LENGTH_M
+    slot_payload_bytes: int = DEFAULT_SLOT_PAYLOAD_BYTES
+    node_delay_s: float = DEFAULT_NODE_DELAY_S
+    spatial_reuse: bool = True
+    drop_late: bool = False
+    initial_master: int = 0
+    #: Admitted logical real-time connections (one periodic source each).
+    connections: tuple[LogicalRealTimeConnection, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+
+
+def make_timing(config: ScenarioConfig) -> NetworkTiming:
+    """Build the timing model of a scenario's network."""
+    topology = RingTopology.uniform(config.n_nodes, config.link_length_m)
+    return NetworkTiming(
+        topology=topology,
+        link=FibreRibbonLink(),
+        slot_payload_bytes=config.slot_payload_bytes,
+        node_delay_s=config.node_delay_s,
+    )
+
+
+def make_protocol(
+    config: ScenarioConfig,
+    topology: RingTopology,
+    mapping: LaxityMapping | None = None,
+) -> MacProtocol:
+    """Instantiate the scenario's MAC protocol."""
+    if config.protocol == "ccr-edf":
+        return CcrEdfProtocol(
+            topology=topology,
+            mapping=mapping,
+            arbiter=Arbiter(spatial_reuse=config.spatial_reuse),
+        )
+    if config.protocol == "upper-edf":
+        return make_upper_layer_edf(
+            topology, mapping=mapping, spatial_reuse=config.spatial_reuse
+        )
+    if config.protocol == "ccfpr":
+        return CcFprProtocol(topology, spatial_reuse=config.spatial_reuse)
+    if config.protocol == "tdma":
+        return TdmaProtocol(topology)
+    raise ValueError(f"unknown protocol {config.protocol!r}")
+
+
+def build_simulation(
+    config: ScenarioConfig,
+    extra_sources: Sequence[TrafficSource] = (),
+    mapping: LaxityMapping | None = None,
+    trace: SlotTrace | None = None,
+    faults: FaultInjector | None = None,
+    loss_model=None,
+) -> Simulation:
+    """Assemble a ready-to-run simulation for a scenario."""
+    timing = make_timing(config)
+    protocol = make_protocol(config, timing.topology, mapping)
+    sources: list[TrafficSource] = [
+        ConnectionSource(c) for c in config.connections
+    ]
+    sources.extend(extra_sources)
+    return Simulation(
+        timing=timing,
+        protocol=protocol,
+        sources=sources,
+        initial_master=config.initial_master,
+        drop_late=config.drop_late,
+        trace=trace,
+        faults=faults,
+        loss_model=loss_model,
+    )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    n_slots: int,
+    extra_sources: Sequence[TrafficSource] = (),
+    mapping: LaxityMapping | None = None,
+    trace: SlotTrace | None = None,
+    faults: FaultInjector | None = None,
+    loss_model=None,
+) -> SimulationReport:
+    """Build and run a scenario for ``n_slots`` slots."""
+    sim = build_simulation(
+        config,
+        extra_sources=extra_sources,
+        mapping=mapping,
+        trace=trace,
+        faults=faults,
+        loss_model=loss_model,
+    )
+    return sim.run(n_slots)

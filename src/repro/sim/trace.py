@@ -1,0 +1,108 @@
+"""Optional per-slot tracing and wire-format verification.
+
+Tracing is off by default (big simulations would accumulate millions of
+records); when enabled it captures one :class:`TraceRecord` per slot --
+enough to reconstruct the Figure 3 phase overlap and the Figure 6/7
+hand-over timelines in the corresponding benchmarks.
+
+Wire verification additionally serialises every control packet to its
+exact bit sequence and parses it back, asserting the round trip, so a
+traced run also proves the Figures 4/5 formats are honoured end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.protocol import SlotOutcome, SlotPlan
+from repro.phy.packets import CollectionPacket, DistributionPacket
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One slot's worth of observable protocol events."""
+
+    slot: int
+    master: int
+    next_master: int
+    gap_before_s: float
+    #: (node, message id) pairs transmitted this slot.
+    transmitted: tuple[tuple[int, int], ...]
+    #: Nodes denied by the clock break in the arbitration run this slot.
+    denied_by_break: tuple[int, ...]
+    n_requests: int
+    #: Bit lengths of the control packets exchanged this slot (when the
+    #: plan carried them; 0 for protocols without global arbitration).
+    collection_bits: int = 0
+    distribution_bits: int = 0
+
+
+class SlotTrace:
+    """Bounded in-memory trace of executed slots."""
+
+    def __init__(self, max_records: int = 100_000, verify_wire: bool = False):
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = max_records
+        self.verify_wire = verify_wire
+        self.records: list[TraceRecord] = []
+        self.truncated = False
+
+    def on_slot(
+        self,
+        outcome: SlotOutcome,
+        plan_executed: SlotPlan,
+        plan_next: SlotPlan,
+        collection: CollectionPacket | None = None,
+        distribution: DistributionPacket | None = None,
+    ) -> None:
+        """Record one executed slot (and optionally verify wire formats)."""
+        if self.verify_wire and collection is not None:
+            bits = collection.serialize()
+            reparsed = CollectionPacket.parse(
+                bits, collection.n_nodes, collection.master
+            )
+            if reparsed != collection:
+                raise AssertionError(
+                    f"collection packet wire round-trip mismatch in slot "
+                    f"{outcome.slot}"
+                )
+        if self.verify_wire and distribution is not None:
+            bits = distribution.serialize()
+            reparsed = DistributionPacket.parse(
+                bits,
+                distribution.n_nodes,
+                distribution.master,
+                distribution.extension_bits,
+            )
+            if reparsed != distribution:
+                raise AssertionError(
+                    f"distribution packet wire round-trip mismatch in slot "
+                    f"{outcome.slot}"
+                )
+
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(
+            TraceRecord(
+                slot=outcome.slot,
+                master=outcome.master,
+                next_master=plan_next.master,
+                gap_before_s=outcome.gap_s,
+                transmitted=tuple(
+                    (tx.node, tx.message.msg_id) for tx in outcome.transmitted
+                ),
+                denied_by_break=tuple(
+                    tx.node for tx in plan_executed.denied_by_break
+                ),
+                n_requests=plan_next.n_requests,
+                collection_bits=len(collection.serialize()) if collection else 0,
+                distribution_bits=(
+                    len(distribution.serialize()) if distribution else 0
+                ),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,38 @@
+"""Workload generators.
+
+* :mod:`repro.traffic.base` -- the :class:`TrafficSource` interface the
+  simulator consumes;
+* :mod:`repro.traffic.periodic` -- periodic sources driven by logical
+  real-time connections, plus random LRTC-set generators (UUniFast);
+* :mod:`repro.traffic.poisson` -- Poisson and bursty on/off best-effort /
+  non-real-time sources;
+* :mod:`repro.traffic.radar` -- a synthetic radar-signal-processing
+  pipeline workload (the paper's motivating application, refs [1][2]);
+* :mod:`repro.traffic.multimedia` -- distributed-multimedia stream mix;
+* :mod:`repro.traffic.sweeps` -- helpers to scale workloads to target
+  utilisations for load sweeps.
+"""
+
+from repro.traffic.base import CompositeSource, TrafficSource
+from repro.traffic.periodic import (
+    ConnectionSource,
+    random_connection_set,
+    uunifast,
+)
+from repro.traffic.poisson import BurstySource, PoissonSource
+from repro.traffic.radar import radar_pipeline_connections
+from repro.traffic.multimedia import multimedia_connections
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+__all__ = [
+    "CompositeSource",
+    "TrafficSource",
+    "ConnectionSource",
+    "random_connection_set",
+    "uunifast",
+    "BurstySource",
+    "PoissonSource",
+    "radar_pipeline_connections",
+    "multimedia_connections",
+    "scale_connections_to_utilisation",
+]

@@ -1,0 +1,50 @@
+"""The traffic-source interface.
+
+A :class:`TrafficSource` is attached to one node and asked, once per slot,
+which new messages it releases into that node's transmit queues.  Sources
+must be deterministic functions of their construction parameters (all
+randomness comes from an explicitly seeded generator) so that simulations
+are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.messages import Message
+
+
+class TrafficSource(ABC):
+    """Produces the messages one node releases at each slot."""
+
+    #: Node this source is attached to.
+    node: int
+
+    @abstractmethod
+    def messages_for_slot(self, slot: int) -> list[Message]:
+        """New messages released at the start of ``slot`` (may be empty).
+
+        Every returned message must have ``source == self.node`` and
+        ``created_slot == slot``.
+        """
+
+
+class CompositeSource(TrafficSource):
+    """Merges several sources attached to the same node."""
+
+    def __init__(self, node: int, sources: Sequence[TrafficSource]):
+        for src in sources:
+            if src.node != node:
+                raise ValueError(
+                    f"source attached to node {src.node} cannot join a "
+                    f"composite for node {node}"
+                )
+        self.node = node
+        self.sources = tuple(sources)
+
+    def messages_for_slot(self, slot: int) -> list[Message]:
+        out: list[Message] = []
+        for src in self.sources:
+            out.extend(src.messages_for_slot(slot))
+        return out

@@ -1,0 +1,96 @@
+"""Distributed-multimedia stream workload.
+
+The paper names "distributed multimedia systems" among the target
+applications.  This generator builds a mix of constant-bit-rate media
+streams as logical real-time connections: video streams (frame-periodic,
+multi-slot frames, often multicast) and audio streams (short period,
+single-slot packets), parameterised by the slot duration so the stream
+rates translate into correct slot-domain periods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.connection import LogicalRealTimeConnection
+
+
+def multimedia_connections(
+    rng: np.random.Generator,
+    n_nodes: int,
+    n_video: int,
+    n_audio: int,
+    slot_time_s: float,
+    slot_payload_bytes: int,
+    video_fps: float = 25.0,
+    video_frame_bytes: int = 64 * 1024,
+    audio_packet_interval_s: float = 0.02,
+    audio_packet_bytes: int = 320,
+    video_multicast_probability: float = 0.5,
+) -> list[LogicalRealTimeConnection]:
+    """Build a random mix of video and audio LRTCs.
+
+    Each video stream delivers one ``video_frame_bytes`` frame every
+    ``1 / video_fps`` seconds; each audio stream one ``audio_packet_bytes``
+    packet every ``audio_packet_interval_s``.  Byte volumes are converted
+    to slots via ``slot_payload_bytes`` and intervals to slot-domain
+    periods via ``slot_time_s``.  Sources and destinations are drawn
+    uniformly; a fraction of video streams multicast to several sinks
+    (e.g. monitoring stations).
+    """
+    if n_nodes < 2:
+        raise ValueError(f"a ring needs at least 2 nodes, got {n_nodes}")
+    if slot_time_s <= 0 or slot_payload_bytes < 1:
+        raise ValueError("slot time and payload must be positive")
+
+    def pick_endpoints(multicast: bool) -> tuple[int, frozenset[int]]:
+        src = int(rng.integers(n_nodes))
+        others = [n for n in range(n_nodes) if n != src]
+        if multicast and len(others) >= 2:
+            k = int(rng.integers(2, min(4, len(others)) + 1))
+            dsts = frozenset(
+                int(x) for x in rng.choice(others, size=k, replace=False)
+            )
+        else:
+            dsts = frozenset([int(rng.choice(others))])
+        return src, dsts
+
+    connections = []
+    video_period = max(1, round((1.0 / video_fps) / slot_time_s))
+    video_size = max(1, -(-video_frame_bytes // slot_payload_bytes))
+    if video_size > video_period:
+        raise ValueError(
+            f"one video frame needs {video_size} slots but the frame period "
+            f"is only {video_period} slots: stream infeasible at this rate"
+        )
+    for _ in range(n_video):
+        src, dsts = pick_endpoints(rng.random() < video_multicast_probability)
+        connections.append(
+            LogicalRealTimeConnection(
+                source=src,
+                destinations=dsts,
+                period_slots=video_period,
+                size_slots=video_size,
+                phase_slots=int(rng.integers(video_period)),
+            )
+        )
+
+    audio_period = max(1, round(audio_packet_interval_s / slot_time_s))
+    audio_size = max(1, -(-audio_packet_bytes // slot_payload_bytes))
+    if audio_size > audio_period:
+        raise ValueError(
+            f"one audio packet needs {audio_size} slots but the packet "
+            f"period is only {audio_period} slots: stream infeasible"
+        )
+    for _ in range(n_audio):
+        src, dsts = pick_endpoints(False)
+        connections.append(
+            LogicalRealTimeConnection(
+                source=src,
+                destinations=dsts,
+                period_slots=audio_period,
+                size_slots=audio_size,
+                phase_slots=int(rng.integers(audio_period)),
+            )
+        )
+    return connections

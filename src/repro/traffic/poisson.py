@@ -1,0 +1,199 @@
+"""Stochastic best-effort and non-real-time sources.
+
+:class:`PoissonSource` releases messages as a Bernoulli-thinned Poisson
+process at slot granularity; :class:`BurstySource` is a two-state on/off
+(interrupted Bernoulli) process producing the bursty arrivals typical of
+best-effort LAN traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+from repro.traffic.base import TrafficSource
+
+
+def _pick_destinations(
+    rng: np.random.Generator, node: int, n_nodes: int, destinations: Sequence[int] | None
+) -> frozenset[int]:
+    if destinations is not None:
+        return frozenset(destinations)
+    dst = int(rng.integers(n_nodes - 1))
+    if dst >= node:
+        dst += 1
+    return frozenset([dst])
+
+
+class PoissonSource(TrafficSource):
+    """Poisson arrivals of fixed-class messages at one node.
+
+    Parameters
+    ----------
+    node, n_nodes:
+        Attachment point and ring size (for random destination draws).
+    rate_per_slot:
+        Mean arrivals per slot (may exceed 1; multiple arrivals per slot
+        are generated).
+    traffic_class:
+        BEST_EFFORT or NON_REAL_TIME (guaranteed traffic is periodic by
+        construction and uses :class:`ConnectionSource`).
+    size_slots:
+        Message size in slots.
+    relative_deadline_slots:
+        Deadline offset from creation for best-effort messages; ignored
+        (and must be None) for non-real-time.
+    destinations:
+        Fixed destination set; if ``None``, each message draws one uniform
+        random destination.
+    rng:
+        Seeded generator; required for reproducibility.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        n_nodes: int,
+        rate_per_slot: float,
+        traffic_class: TrafficClass,
+        rng: np.random.Generator,
+        size_slots: int = 1,
+        relative_deadline_slots: int | None = None,
+        destinations: Sequence[int] | None = None,
+    ):
+        if traffic_class is TrafficClass.RT_CONNECTION:
+            raise ValueError(
+                "guaranteed traffic is periodic; use ConnectionSource instead"
+            )
+        if rate_per_slot < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_per_slot}")
+        if traffic_class is TrafficClass.BEST_EFFORT:
+            if relative_deadline_slots is None or relative_deadline_slots < 1:
+                raise ValueError(
+                    "best-effort messages need a positive relative deadline"
+                )
+        elif relative_deadline_slots is not None:
+            raise ValueError("non-real-time messages carry no deadline")
+        self.node = node
+        self.n_nodes = n_nodes
+        self.rate_per_slot = rate_per_slot
+        self.traffic_class = traffic_class
+        self.size_slots = size_slots
+        self.relative_deadline_slots = relative_deadline_slots
+        self.destinations = destinations
+        self.rng = rng
+
+    def _make_message(self, slot: int) -> Message:
+        deadline = (
+            slot + self.relative_deadline_slots
+            if self.relative_deadline_slots is not None
+            else None
+        )
+        return Message(
+            source=self.node,
+            destinations=_pick_destinations(
+                self.rng, self.node, self.n_nodes, self.destinations
+            ),
+            traffic_class=self.traffic_class,
+            size_slots=self.size_slots,
+            created_slot=slot,
+            deadline_slot=deadline,
+        )
+
+    def messages_for_slot(self, slot: int) -> list[Message]:
+        count = int(self.rng.poisson(self.rate_per_slot))
+        return [self._make_message(slot) for _ in range(count)]
+
+
+class BurstySource(TrafficSource):
+    """Two-state on/off arrival process (interrupted Bernoulli).
+
+    In the ON state, one message arrives per slot with probability
+    ``on_arrival_probability``; in the OFF state, none arrive.  State
+    dwell times are geometric with the given means, giving bursts of mean
+    length ``mean_on_slots`` separated by silences of mean
+    ``mean_off_slots``.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        n_nodes: int,
+        rng: np.random.Generator,
+        traffic_class: TrafficClass = TrafficClass.BEST_EFFORT,
+        mean_on_slots: float = 10.0,
+        mean_off_slots: float = 40.0,
+        on_arrival_probability: float = 1.0,
+        size_slots: int = 1,
+        relative_deadline_slots: int | None = 100,
+        destinations: Sequence[int] | None = None,
+    ):
+        if traffic_class is TrafficClass.RT_CONNECTION:
+            raise ValueError(
+                "guaranteed traffic is periodic; use ConnectionSource instead"
+            )
+        if mean_on_slots < 1 or mean_off_slots < 1:
+            raise ValueError("state dwell means must be >= 1 slot")
+        if not (0 <= on_arrival_probability <= 1):
+            raise ValueError(
+                f"arrival probability must be in [0, 1], got {on_arrival_probability}"
+            )
+        if traffic_class is TrafficClass.BEST_EFFORT:
+            if relative_deadline_slots is None or relative_deadline_slots < 1:
+                raise ValueError(
+                    "best-effort messages need a positive relative deadline"
+                )
+        elif relative_deadline_slots is not None:
+            raise ValueError("non-real-time messages carry no deadline")
+        self.node = node
+        self.n_nodes = n_nodes
+        self.rng = rng
+        self.traffic_class = traffic_class
+        self.p_leave_on = 1.0 / mean_on_slots
+        self.p_leave_off = 1.0 / mean_off_slots
+        self.on_arrival_probability = on_arrival_probability
+        self.size_slots = size_slots
+        self.relative_deadline_slots = relative_deadline_slots
+        self.destinations = destinations
+        self._on = False
+        self._last_slot = -1
+
+    @property
+    def mean_rate_per_slot(self) -> float:
+        """Long-run mean arrival rate of the on/off process."""
+        duty = self.p_leave_off / (self.p_leave_on + self.p_leave_off)
+        return duty * self.on_arrival_probability
+
+    def messages_for_slot(self, slot: int) -> list[Message]:
+        if slot <= self._last_slot:
+            raise ValueError(
+                f"bursty source stepped backwards: slot {slot} after {self._last_slot}"
+            )
+        # Advance the on/off chain one step per elapsed slot.
+        for _ in range(slot - self._last_slot):
+            leave_p = self.p_leave_on if self._on else self.p_leave_off
+            if self.rng.random() < leave_p:
+                self._on = not self._on
+        self._last_slot = slot
+        if not self._on or self.rng.random() >= self.on_arrival_probability:
+            return []
+        deadline = (
+            slot + self.relative_deadline_slots
+            if self.relative_deadline_slots is not None
+            else None
+        )
+        return [
+            Message(
+                source=self.node,
+                destinations=_pick_destinations(
+                    self.rng, self.node, self.n_nodes, self.destinations
+                ),
+                traffic_class=self.traffic_class,
+                size_slots=self.size_slots,
+                created_slot=slot,
+                deadline_slot=deadline,
+            )
+        ]

@@ -1,0 +1,113 @@
+"""Synthetic radar-signal-processing pipeline workload.
+
+The paper's motivating application (refs [1][2]) is a radar signal
+processing chain: antenna data flows through a pipeline of processing
+stages (digital beamforming, pulse compression, Doppler filtering,
+envelope detection, CFAR, extraction), each stage hosted on one or more
+compute nodes, with a new data cube arriving every coherent processing
+interval (CPI).
+
+This generator maps such a chain onto the ring: consecutive pipeline
+stages on consecutive nodes, one logical real-time connection per
+inter-stage hop, all with period = CPI and a per-stage data volume that
+shrinks along the chain (later stages operate on reduced data), plus a
+low-rate feedback/control connection from the last stage back to the
+first.  The result exercises exactly the traffic pattern the paper's
+introduction motivates: heavy neighbour-to-neighbour periodic streams
+that profit maximally from spatial reuse.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.connection import LogicalRealTimeConnection
+
+
+#: Relative per-stage output volumes of a representative chain (input
+#: data cube normalised to 1.0); loosely follows the stage reductions in
+#: refs [1][2]: beamforming keeps the cube, pulse compression keeps it,
+#: Doppler filtering halves it, envelope detection halves it again, CFAR
+#: decimates it, extraction emits a target list.
+DEFAULT_STAGE_VOLUMES: tuple[float, ...] = (1.0, 1.0, 0.5, 0.25, 0.05, 0.01)
+
+
+def radar_pipeline_connections(
+    n_nodes: int,
+    cpi_slots: int,
+    input_volume_slots: int,
+    stage_volumes: Sequence[float] = DEFAULT_STAGE_VOLUMES,
+    first_node: int = 0,
+    feedback: bool = True,
+) -> list[LogicalRealTimeConnection]:
+    """Build the LRTC set of one radar pipeline.
+
+    Parameters
+    ----------
+    n_nodes:
+        Ring size; must be at least ``len(stage_volumes)`` so each stage
+        gets its own node.
+    cpi_slots:
+        The coherent processing interval, i.e. the period of every
+        connection, in slots.
+    input_volume_slots:
+        Slots needed to move one full input data cube between stages.
+    stage_volumes:
+        Relative output volume of each stage; stage ``i`` sends
+        ``max(1, round(input_volume_slots * stage_volumes[i]))`` slots to
+        stage ``i + 1`` every CPI.
+    first_node:
+        Node hosting the first stage; stages occupy consecutive
+        downstream nodes.
+    feedback:
+        Add a 1-slot control connection from the last stage back to the
+        first (adaptive-processing feedback).
+    """
+    n_stages = len(stage_volumes)
+    if n_stages < 2:
+        raise ValueError("a pipeline needs at least 2 stages")
+    if n_nodes < n_stages:
+        raise ValueError(
+            f"need at least {n_stages} nodes for {n_stages} stages, got {n_nodes}"
+        )
+    if cpi_slots < 1:
+        raise ValueError(f"CPI must be >= 1 slot, got {cpi_slots}")
+    if input_volume_slots < 1:
+        raise ValueError(
+            f"input volume must be >= 1 slot, got {input_volume_slots}"
+        )
+
+    connections = []
+    for stage in range(n_stages - 1):
+        src = (first_node + stage) % n_nodes
+        dst = (first_node + stage + 1) % n_nodes
+        size = max(1, round(input_volume_slots * stage_volumes[stage]))
+        if size > cpi_slots:
+            raise ValueError(
+                f"stage {stage} volume ({size} slots) exceeds the CPI "
+                f"({cpi_slots} slots): pipeline intrinsically infeasible"
+            )
+        connections.append(
+            LogicalRealTimeConnection(
+                source=src,
+                destinations=frozenset([dst]),
+                period_slots=cpi_slots,
+                size_slots=size,
+                # Stagger stage outputs across the CPI to mimic pipelined
+                # processing (stage i finishes ~i/n_stages into the CPI).
+                phase_slots=(stage * cpi_slots) // n_stages,
+            )
+        )
+    if feedback:
+        last = (first_node + n_stages - 1) % n_nodes
+        if last != first_node:
+            connections.append(
+                LogicalRealTimeConnection(
+                    source=last,
+                    destinations=frozenset([first_node]),
+                    period_slots=cpi_slots,
+                    size_slots=1,
+                    phase_slots=((n_stages - 1) * cpi_slots) // n_stages,
+                )
+            )
+    return connections

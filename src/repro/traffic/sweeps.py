@@ -1,0 +1,62 @@
+"""Load-sweep helpers.
+
+Experiments sweep offered load across a range of utilisations; random
+connection-set generators only hit a target utilisation approximately
+(message sizes are integral).  :func:`scale_connections_to_utilisation`
+rescales an existing set to a new total utilisation by stretching or
+shrinking periods, preserving the set's structure (sources, destinations,
+relative weights).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.connection import LogicalRealTimeConnection
+
+
+def scale_connections_to_utilisation(
+    connections: Sequence[LogicalRealTimeConnection],
+    target_utilisation: float,
+    min_period_slots: int = 1,
+    max_period_slots: int | None = None,
+) -> list[LogicalRealTimeConnection]:
+    """Rescale a connection set to (approximately) a target utilisation.
+
+    Every period is multiplied by ``U_current / U_target`` and rounded;
+    message sizes, endpoints and relative phases are preserved.  Because
+    periods are integral the achieved utilisation deviates slightly from
+    the target; callers compare against the *achieved* value, available as
+    ``sum(c.utilisation for c in result)``.
+    """
+    if target_utilisation <= 0:
+        raise ValueError(
+            f"target utilisation must be positive, got {target_utilisation}"
+        )
+    if not connections:
+        raise ValueError("cannot scale an empty connection set")
+    current = sum(c.utilisation for c in connections)
+    factor = current / target_utilisation
+    out = []
+    for c in connections:
+        period = max(min_period_slots, round(c.period_slots * factor))
+        period = max(period, c.size_slots)  # keep e_i <= P_i
+        if max_period_slots is not None:
+            period = min(period, max_period_slots)
+            if period < c.size_slots:
+                raise ValueError(
+                    f"max period {max_period_slots} cannot hold a "
+                    f"{c.size_slots}-slot message"
+                )
+        # Rescale the phase into the new period to keep releases spread.
+        phase = c.phase_slots % period
+        out.append(
+            LogicalRealTimeConnection(
+                source=c.source,
+                destinations=c.destinations,
+                period_slots=period,
+                size_slots=c.size_slots,
+                phase_slots=phase,
+            )
+        )
+    return out

@@ -1,0 +1,77 @@
+"""Tests for per-protocol latency bounds."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    ccfpr_access_bound_slots,
+    ccfpr_latency_bound_s,
+    ccr_edf_access_bound_slots,
+    ccr_edf_latency_bound_s,
+    tdma_access_bound_slots,
+)
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+@pytest.fixture
+def timing():
+    return NetworkTiming(
+        topology=RingTopology.uniform(8, 10.0), link=FibreRibbonLink()
+    )
+
+
+class TestCcrEdfBounds:
+    def test_latency_bound_is_equation_4(self, timing):
+        assert ccr_edf_latency_bound_s(timing) == pytest.approx(
+            2 * timing.slot_length_s + timing.max_handover_time_s
+        )
+
+    def test_access_bound_is_two_slots(self):
+        assert ccr_edf_access_bound_slots() == 2
+
+    def test_edf_bound_independent_of_n_in_slots(self):
+        """CCR-EDF's slot-domain access bound does not grow with N --
+        the structural advantage over rotation-based protocols."""
+        assert ccr_edf_access_bound_slots() < tdma_access_bound_slots(4)
+        assert ccr_edf_access_bound_slots() < ccfpr_access_bound_slots(4)
+
+
+class TestRotationBounds:
+    def test_tdma_bound_grows_with_n(self):
+        assert tdma_access_bound_slots(16) > tdma_access_bound_slots(4)
+        assert tdma_access_bound_slots(8) == 9
+
+    def test_ccfpr_bound_matches_tdma_shape(self):
+        for n in (2, 4, 8, 32):
+            assert ccfpr_access_bound_slots(n) == tdma_access_bound_slots(n)
+
+    def test_ccfpr_wall_clock_bound(self, timing):
+        n = 8
+        one_link = timing.topology.ring_propagation_delay_s / n
+        expected = (n + 1) * (timing.slot_length_s + one_link)
+        assert ccfpr_latency_bound_s(timing) == pytest.approx(expected)
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            tdma_access_bound_slots(1)
+        with pytest.raises(ValueError, match="at least 2"):
+            ccfpr_access_bound_slots(1)
+
+
+class TestCrossProtocolComparison:
+    def test_wall_clock_ccr_edf_beats_ccfpr_for_small_payloads(self, timing):
+        """For the default configuration the CCR-EDF bound (2 slots +
+        ring delay) undercuts CC-FPR's full rotation (N+1 slots)."""
+        assert ccr_edf_latency_bound_s(timing) < ccfpr_latency_bound_s(timing)
+
+    def test_crossover_never_happens_for_realistic_rings(self):
+        # Even on long rings, N+1 slots dominate 2 slots + ring delay
+        # whenever the slot is longer than roughly one link delay.
+        for n in (4, 8, 16, 32):
+            for link_m in (10.0, 100.0):
+                t = NetworkTiming(
+                    topology=RingTopology.uniform(n, link_m),
+                    link=FibreRibbonLink(),
+                )
+                assert ccr_edf_latency_bound_s(t) < ccfpr_latency_bound_s(t)

@@ -1,0 +1,97 @@
+"""Tests for the CC-FPR worst-case bound and its pessimism."""
+
+import pytest
+
+from repro.analysis.pessimism import (
+    ccfpr_guaranteed_slots,
+    ccfpr_node_feasible,
+    ccfpr_worst_case_node_utilisation,
+    pessimism_ratio,
+)
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+def conn(period, size, source=0):
+    return LogicalRealTimeConnection(
+        source=source,
+        destinations=frozenset([(source + 1) % 8]),
+        period_slots=period,
+        size_slots=size,
+    )
+
+
+class TestGuaranteedSlots:
+    def test_one_slot_per_rotation(self):
+        assert ccfpr_guaranteed_slots(8, 8) == 1
+        assert ccfpr_guaranteed_slots(80, 8) == 10
+
+    def test_short_window_no_guarantee(self):
+        assert ccfpr_guaranteed_slots(7, 8) == 0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ccfpr_guaranteed_slots(-1, 8)
+        with pytest.raises(ValueError, match="at least 2"):
+            ccfpr_guaranteed_slots(10, 1)
+
+
+class TestNodeUtilisationBound:
+    def test_one_over_n(self):
+        assert ccfpr_worst_case_node_utilisation(8) == pytest.approx(1 / 8)
+        assert ccfpr_worst_case_node_utilisation(2) == pytest.approx(0.5)
+
+
+class TestNodeFeasibility:
+    def test_empty_feasible(self):
+        assert ccfpr_node_feasible([], 8)
+
+    def test_low_rate_long_deadline_feasible(self):
+        # 1 slot per 100 with N=8: dbf(100) = 1 <= floor(100/8) = 12.
+        assert ccfpr_node_feasible([conn(100, 1)], 8)
+
+    def test_tight_deadline_infeasible(self):
+        # A deadline shorter than one rotation has no guarantee at all.
+        assert not ccfpr_node_feasible([conn(7, 1)], 8)
+
+    def test_exactly_one_rotation_feasible(self):
+        assert ccfpr_node_feasible([conn(8, 1)], 8)
+
+    def test_node_utilisation_above_bound_infeasible(self):
+        # U = 0.25 > 1/8.
+        assert not ccfpr_node_feasible([conn(80, 20)], 8)
+
+    def test_mixed_node_connections_rejected(self):
+        with pytest.raises(ValueError, match="per node"):
+            ccfpr_node_feasible([conn(100, 1, source=0), conn(100, 1, source=1)], 8)
+
+    def test_asymmetric_load_shows_pessimism(self):
+        """The paper's point: a load trivially guaranteed by CCR-EDF has
+        no CC-FPR guarantee when concentrated on one node."""
+        timing = NetworkTiming(
+            topology=RingTopology.uniform(8, 10.0), link=FibreRibbonLink()
+        )
+        # One node wants 50% of the slots: far below CCR-EDF's U_max...
+        c = conn(10, 5)
+        assert timing.edf_feasible([c])
+        # ...but hopeless under CC-FPR's per-node 1/8 guarantee.
+        assert not ccfpr_node_feasible([c], 8)
+
+
+class TestPessimismRatio:
+    def test_ratio_is_n_times_umax(self):
+        timing = NetworkTiming(
+            topology=RingTopology.uniform(8, 10.0), link=FibreRibbonLink()
+        )
+        assert pessimism_ratio(timing) == pytest.approx(8 * timing.u_max)
+
+    def test_ratio_grows_with_n(self):
+        def ratio(n):
+            t = NetworkTiming(
+                topology=RingTopology.uniform(n, 10.0), link=FibreRibbonLink()
+            )
+            return pessimism_ratio(t)
+
+        assert ratio(16) > ratio(8) > ratio(4) > 1.0

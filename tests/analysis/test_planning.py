@@ -1,0 +1,143 @@
+"""Tests for the capacity-planning helpers."""
+
+import pytest
+
+from repro.analysis.planning import (
+    admissible_headroom,
+    max_message_size,
+    max_ring_length,
+    min_period_for_size,
+    required_slot_payload,
+)
+from repro.core.admission import AdmissionController
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+@pytest.fixture
+def timing():
+    return NetworkTiming(
+        topology=RingTopology.uniform(8, 10.0), link=FibreRibbonLink()
+    )
+
+
+def conn(period, size):
+    return LogicalRealTimeConnection(
+        source=0, destinations=frozenset([1]), period_slots=period, size_slots=size
+    )
+
+
+class TestHeadroom:
+    def test_empty_network_has_umax_headroom(self, timing):
+        assert admissible_headroom(timing) == pytest.approx(timing.u_max)
+
+    def test_headroom_shrinks_with_admissions(self, timing):
+        assert admissible_headroom(timing, [conn(10, 3)]) == pytest.approx(
+            timing.u_max - 0.3
+        )
+
+    def test_never_negative(self, timing):
+        assert admissible_headroom(timing, [conn(10, 10)]) == 0.0
+
+
+class TestMaxMessageSize:
+    def test_empty_network(self, timing):
+        # U_max * 100 slots of headroom.
+        assert max_message_size(timing, 100) == int(timing.u_max * 100)
+
+    def test_result_is_actually_admissible(self, timing):
+        admitted = [conn(10, 4)]
+        size = max_message_size(timing, 50, admitted)
+        assert size >= 1
+        controller = AdmissionController(timing)
+        for c in admitted:
+            controller.request(c)
+        assert controller.request(conn(50, size)).accepted
+        # One slot more must fail.
+        assert not controller.request(conn(50, size + 1)).accepted
+
+    def test_bounded_by_period(self, timing):
+        assert max_message_size(timing, 1) <= 1
+
+    def test_zero_when_full(self, timing):
+        assert max_message_size(timing, 100, [conn(10, 10)]) == 0
+
+    def test_invalid_period_rejected(self, timing):
+        with pytest.raises(ValueError, match="period"):
+            max_message_size(timing, 0)
+
+
+class TestMinPeriod:
+    def test_result_is_admissible_and_minimal(self, timing):
+        admitted = [conn(10, 5)]
+        period = min_period_for_size(timing, 8, admitted)
+        assert period is not None
+        controller = AdmissionController(timing)
+        for c in admitted:
+            controller.request(c)
+        assert controller.request(conn(period, 8)).accepted
+        # A one-slot-shorter period must fail (or violate e <= P).
+        if period - 1 >= 8:
+            headroom = timing.u_max - 0.5
+            assert 8 / (period - 1) > headroom
+
+    def test_none_when_no_headroom(self, timing):
+        assert min_period_for_size(timing, 1, [conn(10, 10)]) is None
+
+    def test_invalid_size_rejected(self, timing):
+        with pytest.raises(ValueError, match="size"):
+            min_period_for_size(timing, 0)
+
+
+class TestRequiredSlotPayload:
+    def test_modest_requirements_take_small_slots(self):
+        topology = RingTopology.uniform(8, 10.0)
+        # One 1 KiB message every millisecond: trivial.
+        payload = required_slot_payload([(1e-3, 1024)], topology)
+        assert payload == 128
+
+    def test_fragmentation_overhead_forces_bigger_slots(self):
+        # 4 KiB messages over 128 B slots fragment into 32 packets, each
+        # padded to the Eq. (2) slot floor: the demand explodes and only
+        # larger payloads fit the 80 us period.
+        topology = RingTopology.uniform(8, 10.0)
+        demanding = [(80e-6, 4 * 1024)] * 2
+        payload = required_slot_payload(demanding, topology)
+        assert payload is not None and payload > 128
+        easy = required_slot_payload([(1e-2, 1024)], topology)
+        assert easy == 128
+
+    def test_impossible_requirements_return_none(self):
+        topology = RingTopology.uniform(8, 10.0)
+        # More than the whole link rate.
+        impossible = [(1e-6, 64 * 1024)]
+        assert required_slot_payload(impossible, topology) is None
+
+
+class TestMaxRingLength:
+    def test_easy_requirements_reach_the_cap(self):
+        length = max_ring_length([(1.0, 1024)], n_nodes=8)
+        assert length == 100_000.0
+
+    def test_tight_requirements_bound_the_length(self):
+        reqs = [(200e-6, 8 * 1024)] * 3
+        length = max_ring_length(reqs, n_nodes=8)
+        assert length is not None
+        assert 1.0 <= length < 100_000.0
+        # The returned length is feasible; 3x the length is not.
+        from repro.analysis.schedulability import wall_clock_feasible
+        from repro.core.timing import NetworkTiming as NT
+
+        ok = NT(
+            topology=RingTopology.uniform(8, length), link=FibreRibbonLink()
+        )
+        assert wall_clock_feasible(reqs, ok)
+        bad = NT(
+            topology=RingTopology.uniform(8, 3 * length), link=FibreRibbonLink()
+        )
+        assert not wall_clock_feasible(reqs, bad)
+
+    def test_impossible_requirements_return_none(self):
+        assert max_ring_length([(1e-6, 64 * 1024)], n_nodes=8) is None

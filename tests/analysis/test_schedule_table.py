@@ -1,0 +1,155 @@
+"""Tests for the offline EDF schedule table, including the three-way
+triangulation against the demand-bound test and the simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.schedulability import (
+    processor_demand_test,
+    slot_domain_utilisation,
+)
+from repro.analysis.schedule_table import build_edf_table
+from repro.core.connection import LogicalRealTimeConnection
+
+
+def conn(period, size, source=0, dst=1):
+    return LogicalRealTimeConnection(
+        source=source,
+        destinations=frozenset([dst]),
+        period_slots=period,
+        size_slots=size,
+    )
+
+
+class TestTableConstruction:
+    def test_empty_set(self):
+        table = build_edf_table([])
+        assert table.feasible
+        assert table.idle_slots == 1
+
+    def test_single_connection(self):
+        c = conn(4, 1)
+        table = build_edf_table([c])
+        assert table.feasible
+        assert table.hyperperiod_slots == 4
+        assert table.slots_of(c.connection_id) == [0]
+        assert table.idle_slots == 3
+
+    def test_full_utilisation_no_idle(self):
+        a, b = conn(4, 2), conn(4, 2)
+        table = build_edf_table([a, b])
+        assert table.feasible
+        assert table.idle_slots == 0
+        assert table.busy_fraction == 1.0
+
+    def test_edf_order_respected(self):
+        # Shorter period (earlier deadline) goes first at a joint release.
+        fast, slow = conn(2, 1), conn(8, 1)
+        table = build_edf_table([fast, slow])
+        assert table.feasible
+        assert table.slots[0] == fast.connection_id
+        assert table.slots[1] == slow.connection_id
+
+    def test_each_connection_gets_its_demand(self):
+        a, b = conn(6, 2), conn(9, 3)
+        table = build_edf_table([a, b])
+        assert table.feasible
+        h = table.hyperperiod_slots  # lcm(6, 9) = 18
+        assert h == 18
+        assert len(table.slots_of(a.connection_id)) == 2 * (18 // 6)
+        assert len(table.slots_of(b.connection_id)) == 3 * (18 // 9)
+
+    def test_overload_flagged_with_culprit(self):
+        a, b = conn(4, 3), conn(4, 3)
+        table = build_edf_table([a, b])
+        assert not table.feasible
+        assert table.first_violation is not None
+        cid, release = table.first_violation
+        assert cid in (a.connection_id, b.connection_id)
+        assert release == 0
+
+    def test_phased_sets_rejected(self):
+        c = LogicalRealTimeConnection(
+            source=0,
+            destinations=frozenset([1]),
+            period_slots=4,
+            size_slots=1,
+            phase_slots=2,
+        )
+        with pytest.raises(ValueError, match="synchronous"):
+            build_edf_table([c])
+
+    def test_multi_hyperperiod_repeats(self):
+        a, b = conn(3, 1), conn(6, 2)
+        one = build_edf_table([a, b], hyperperiods=1)
+        two = build_edf_table([a, b], hyperperiods=2)
+        assert two.slots[: one.hyperperiod_slots] == one.slots
+        assert two.slots[one.hyperperiod_slots :] == one.slots
+
+    def test_invalid_hyperperiods_rejected(self):
+        with pytest.raises(ValueError, match="hyperperiods"):
+            build_edf_table([conn(4, 1)], hyperperiods=0)
+
+
+@st.composite
+def synchronous_sets(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    conns = []
+    for _ in range(k):
+        period = draw(st.sampled_from([2, 3, 4, 6, 8, 12]))
+        size = draw(st.integers(min_value=1, max_value=period))
+        conns.append(conn(period, size))
+    return conns
+
+
+class TestTriangulation:
+    @given(synchronous_sets())
+    @settings(max_examples=150, deadline=None)
+    def test_table_agrees_with_demand_bound_test(self, conns):
+        """Constructive EDF and the analytical test must always agree."""
+        table = build_edf_table(conns, hyperperiods=1)
+        assert table.feasible == processor_demand_test(conns)
+        assert table.feasible == (
+            slot_domain_utilisation(conns) <= 1.0 + 1e-12
+        )
+
+    @given(synchronous_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_table_agrees_with_simulator(self, conns):
+        """...and with the protocol simulator in analysis mode."""
+        from hypothesis import assume
+
+        from repro.core.priorities import TrafficClass
+        from repro.sim.runner import ScenarioConfig, run_scenario
+
+        table = build_edf_table(conns)
+        assume(table.hyperperiod_slots <= 50)
+        config = ScenarioConfig(
+            n_nodes=4,
+            connections=tuple(conns),
+            spatial_reuse=False,
+            drop_late=True,
+        )
+        report = run_scenario(config, n_slots=6 * table.hyperperiod_slots)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        if table.feasible:
+            assert rt.deadline_missed == 0
+        else:
+            assert rt.deadline_missed > 0
+
+    @given(synchronous_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_table_accounting_invariants(self, conns):
+        table = build_edf_table(conns)
+        h = table.hyperperiod_slots
+        assert len(table.slots) == h
+        if table.feasible:
+            # Exactly the demanded number of slots per connection.
+            for c in conns:
+                assert (
+                    len(table.slots_of(c.connection_id))
+                    == c.size_slots * (h // c.period_slots)
+                )
+            # Idle slots = 1 - U exactly.
+            u = slot_domain_utilisation(conns)
+            assert table.idle_slots == round(h * (1 - u))

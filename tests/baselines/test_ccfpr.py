@@ -1,0 +1,149 @@
+"""Tests for the CC-FPR baseline protocol."""
+
+import pytest
+
+from repro.baselines.ccfpr import CcFprProtocol
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+from repro.core.queues import NodeQueues
+from repro.ring.segments import masks_overlap
+from repro.ring.topology import RingTopology
+
+
+def queues_for(n):
+    return {i: NodeQueues(i) for i in range(n)}
+
+
+def rt_msg(node, dst, deadline, size=1):
+    return Message(
+        source=node,
+        destinations=frozenset([dst]),
+        traffic_class=TrafficClass.RT_CONNECTION,
+        size_slots=size,
+        created_slot=0,
+        deadline_slot=deadline,
+        connection_id=0,
+    )
+
+
+@pytest.fixture
+def ring():
+    return RingTopology.uniform(4)
+
+
+@pytest.fixture
+def protocol(ring):
+    return CcFprProtocol(ring)
+
+
+class TestRoundRobinClocking:
+    def test_master_always_moves_downstream(self, protocol):
+        q = queues_for(4)
+        plan = protocol.plan_slot(0, current_master=1, queues_by_node=q)
+        assert plan.master == 2
+
+    def test_gap_constant_one_link(self, protocol, ring):
+        q = queues_for(4)
+        one_link = ring.segments[0].propagation_delay_s
+        for master in range(4):
+            plan = protocol.plan_slot(0, master, q)
+            assert plan.gap_s == pytest.approx(one_link)
+
+    def test_idle_ring_still_rotates(self, protocol):
+        """Unlike CCR-EDF, CC-FPR pays the hand-over gap even when idle."""
+        q = queues_for(4)
+        master = 0
+        for slot in range(8):
+            plan = protocol.plan_slot(slot, master, q)
+            assert plan.master == (master + 1) % 4
+            master = plan.master
+
+
+class TestRingOrderBooking:
+    def test_next_master_books_first_and_is_never_break_blocked(self, protocol):
+        # Next master is node 1.  Its message 1 -> 3 (links 1, 2) avoids
+        # its own break (link 0) by construction.
+        q = queues_for(4)
+        q[1].enqueue(rt_msg(1, 3, deadline=1000))
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        assert len(plan.transmissions) == 1
+        assert plan.transmissions[0].node == 1
+
+    def test_upstream_booking_beats_downstream_urgency(self, protocol):
+        """The paper's criticism: "Node 1 ... books Links 1 and 2,
+        regardless of what Node 2 may have to send"."""
+        q = queues_for(4)
+        # Node 1 (earlier in booking order from master 0) has a lax
+        # message 1 -> 3 (links 1, 2).
+        lax = rt_msg(1, 3, deadline=10_000)
+        q[1].enqueue(lax)
+        # Node 2 has an urgent message 2 -> 3 (link 2) that overlaps.
+        urgent = rt_msg(2, 3, deadline=1)
+        q[2].enqueue(urgent)
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        granted = {tx.node for tx in plan.transmissions}
+        assert 1 in granted
+        assert 2 not in granted  # urgency ignored: ring order won
+
+    def test_priority_inversion_by_rotating_break(self, protocol):
+        # Next master is 1, break at link 0.  Node 0's very urgent message
+        # 0 -> 2 (links 0, 1) is unfeasible: priority inversion.
+        q = queues_for(4)
+        q[0].enqueue(rt_msg(0, 2, deadline=1))
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        assert plan.transmissions == ()
+        assert len(plan.denied_by_break) == 1
+        assert plan.denied_by_break[0].node == 0
+
+    def test_spatial_reuse_in_booking(self, protocol):
+        q = queues_for(4)
+        q[1].enqueue(rt_msg(1, 2, deadline=100))  # link 1
+        q[3].enqueue(rt_msg(3, 0, deadline=100))  # link 3
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        assert {tx.node for tx in plan.transmissions} == {1, 3}
+        masks = [tx.links for tx in plan.transmissions]
+        assert not masks_overlap(masks[0], masks[1])
+
+    def test_single_booking_mode(self, ring):
+        protocol = CcFprProtocol(ring, spatial_reuse=False)
+        q = queues_for(4)
+        q[1].enqueue(rt_msg(1, 2, deadline=100))
+        q[3].enqueue(rt_msg(3, 0, deadline=100))
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        assert len(plan.transmissions) == 1
+        assert plan.transmissions[0].node == 1  # first in booking order
+
+    def test_missing_queue_rejected(self, protocol):
+        q = queues_for(4)
+        del q[3]
+        with pytest.raises(ValueError, match="must cover exactly"):
+            protocol.plan_slot(0, 0, q)
+
+    def test_n_requests_counts_heads(self, protocol):
+        q = queues_for(4)
+        q[0].enqueue(rt_msg(0, 1, deadline=100))
+        q[2].enqueue(rt_msg(2, 3, deadline=100))
+        plan = protocol.plan_slot(0, current_master=0, queues_by_node=q)
+        assert plan.n_requests == 2
+
+
+class TestGuaranteeStructure:
+    def test_every_node_served_within_n_slots_under_contention(self, ring):
+        """Each node gets at least its first-booker slot per rotation."""
+        protocol = CcFprProtocol(ring)
+        q = queues_for(4)
+        # Saturate: every node always wants to send 2 hops downstream
+        # (all paths overlap with neighbours').
+        for node in range(4):
+            for _ in range(10):
+                q[node].enqueue(rt_msg(node, (node + 2) % 4, deadline=10_000, size=1))
+        master = 0
+        served = {n: 0 for n in range(4)}
+        for slot in range(40):
+            plan = protocol.plan_slot(slot, master, q)
+            outcome = protocol.execute_plan(plan)
+            for tx in outcome.transmitted:
+                served[tx.node] += 1
+            master = plan.master
+        # Over 40 slots = 10 rotations, every node transmits >= 10 times.
+        assert all(count >= 10 for count in served.values())

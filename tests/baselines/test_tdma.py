@@ -1,0 +1,95 @@
+"""Tests for the idealised slotted-TDMA baseline."""
+
+import pytest
+
+from repro.baselines.tdma import TdmaProtocol
+from repro.core.messages import Message
+from repro.core.priorities import TrafficClass
+from repro.core.queues import NodeQueues
+from repro.ring.topology import RingTopology
+
+
+def queues_for(n):
+    return {i: NodeQueues(i) for i in range(n)}
+
+
+def rt_msg(node, dst, deadline):
+    return Message(
+        source=node,
+        destinations=frozenset([dst]),
+        traffic_class=TrafficClass.RT_CONNECTION,
+        size_slots=1,
+        created_slot=0,
+        deadline_slot=deadline,
+        connection_id=0,
+    )
+
+
+@pytest.fixture
+def protocol():
+    return TdmaProtocol(RingTopology.uniform(4))
+
+
+class TestOwnership:
+    def test_slot_k_belongs_to_k_mod_n(self, protocol):
+        q = queues_for(4)
+        for current in range(8):
+            plan = protocol.plan_slot(current, current % 4, q)
+            assert plan.master == (current + 1) % 4
+            assert plan.transmit_slot == current + 1
+
+    def test_owner_transmits_head(self, protocol):
+        q = queues_for(4)
+        msg = rt_msg(1, 3, deadline=100)
+        q[1].enqueue(msg)
+        # Plan for slot 1, owned by node 1.
+        plan = protocol.plan_slot(0, 0, q)
+        assert len(plan.transmissions) == 1
+        assert plan.transmissions[0].message is msg
+
+    def test_non_owner_waits_even_if_urgent(self, protocol):
+        q = queues_for(4)
+        q[2].enqueue(rt_msg(2, 3, deadline=1))  # urgent, but slot 1 is node 1's
+        plan = protocol.plan_slot(0, 0, q)
+        assert plan.transmissions == ()
+
+    def test_empty_owner_slot_is_wasted(self, protocol):
+        """No reclaiming: other nodes stay idle in a foreign slot."""
+        q = queues_for(4)
+        q[2].enqueue(rt_msg(2, 3, deadline=100))
+        # Slots 1 (node 1), 4 (node 0), 5 (node 1): node 2 only gets 2, 6.
+        transmitted = []
+        for current in range(8):
+            plan = protocol.plan_slot(current, current % 4, q)
+            outcome = protocol.execute_plan(plan)
+            transmitted.extend(tx.node for tx in outcome.transmitted)
+        assert transmitted == [2]  # single message sent in node 2's slot
+
+    def test_never_denied_by_break(self, protocol):
+        q = queues_for(4)
+        for node in range(4):
+            q[node].enqueue(rt_msg(node, (node + 2) % 4, deadline=100))
+        for current in range(8):
+            plan = protocol.plan_slot(current, current % 4, q)
+            assert plan.denied_by_break == ()
+
+    def test_worst_case_wait_is_full_rotation(self, protocol):
+        # A message arriving at node 0 right after slot 0 waits until
+        # slot 4 (the next slot owned by node 0).
+        q = queues_for(4)
+        msg = rt_msg(0, 1, deadline=100)
+        q[0].enqueue(msg)
+        sent_in = None
+        for current in range(0, 8):
+            plan = protocol.plan_slot(current, current % 4, q)
+            outcome = protocol.execute_plan(plan)
+            if outcome.transmitted:
+                sent_in = outcome.slot
+                break
+        assert sent_in == 4
+
+    def test_missing_queue_rejected(self, protocol):
+        q = queues_for(4)
+        del q[0]
+        with pytest.raises(ValueError, match="must cover exactly"):
+            protocol.plan_slot(0, 0, q)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the CCR-EDF test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator; reseed per test for isolation."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def ring8() -> RingTopology:
+    """An 8-node ring with uniform 10 m links (the default test network)."""
+    return RingTopology.uniform(8, link_length_m=10.0)
+
+
+@pytest.fixture
+def timing8(ring8: RingTopology) -> NetworkTiming:
+    """Timing model of the default test network."""
+    return NetworkTiming(topology=ring8, link=FibreRibbonLink())
+
+
+@pytest.fixture
+def ring4() -> RingTopology:
+    return RingTopology.uniform(4, link_length_m=10.0)
+
+
+@pytest.fixture
+def timing4(ring4: RingTopology) -> NetworkTiming:
+    return NetworkTiming(topology=ring4, link=FibreRibbonLink())

@@ -1,0 +1,109 @@
+"""Tests for logical real-time connections."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+
+
+def make_conn(period=10, size=2, phase=0, source=0, dsts=(3,)):
+    return LogicalRealTimeConnection(
+        source=source,
+        destinations=frozenset(dsts),
+        period_slots=period,
+        size_slots=size,
+        phase_slots=phase,
+    )
+
+
+class TestValidation:
+    def test_size_larger_than_period_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            make_conn(period=5, size=6)
+
+    def test_self_connection_rejected(self):
+        with pytest.raises(ValueError, match="cannot connect to itself"):
+            make_conn(source=3, dsts=(3,))
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError, match="period"):
+            make_conn(period=0)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            make_conn(phase=-1)
+
+    def test_connection_ids_unique(self):
+        assert make_conn().connection_id != make_conn().connection_id
+
+
+class TestUtilisation:
+    def test_utilisation_is_size_over_period(self):
+        assert make_conn(period=10, size=2).utilisation == pytest.approx(0.2)
+
+    def test_full_utilisation(self):
+        assert make_conn(period=4, size=4).utilisation == pytest.approx(1.0)
+
+
+class TestReleases:
+    def test_releases_at_phase_and_multiples(self):
+        c = make_conn(period=10, phase=3)
+        assert c.releases_at(3)
+        assert c.releases_at(13)
+        assert c.releases_at(23)
+        assert not c.releases_at(0)
+        assert not c.releases_at(12)
+
+    def test_no_release_before_phase(self):
+        c = make_conn(period=10, phase=5)
+        for slot in range(5):
+            assert not c.releases_at(slot)
+
+    def test_release_message_fields(self):
+        c = make_conn(period=10, size=2, phase=0, source=1, dsts=(4, 6))
+        msg = c.release_message(20)
+        assert msg.source == 1
+        assert msg.destinations == frozenset([4, 6])
+        assert msg.traffic_class is TrafficClass.RT_CONNECTION
+        assert msg.size_slots == 2
+        assert msg.created_slot == 20
+        # Relative deadline = period: released at 20 (arbitrated during
+        # slot 20, transmittable from 21), the deadline window is the 10
+        # slots (20, 30].
+        assert msg.deadline_slot == 30
+        assert msg.connection_id == c.connection_id
+
+    def test_release_at_wrong_slot_rejected(self):
+        c = make_conn(period=10, phase=0)
+        with pytest.raises(ValueError, match="does not release"):
+            c.release_message(7)
+
+    def test_next_release(self):
+        c = make_conn(period=10, phase=3)
+        assert c.next_release_at_or_after(0) == 3
+        assert c.next_release_at_or_after(3) == 3
+        assert c.next_release_at_or_after(4) == 13
+        assert c.next_release_at_or_after(13) == 13
+        assert c.next_release_at_or_after(14) == 23
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_next_release_is_a_release_and_minimal(self, period, phase, slot):
+        c = make_conn(period=period, size=1, phase=phase)
+        nxt = c.next_release_at_or_after(slot)
+        assert nxt >= slot
+        assert c.releases_at(nxt)
+        # Minimality: no release in [slot, nxt).
+        for s in range(max(slot, nxt - period + 1), nxt):
+            assert not c.releases_at(s)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=100))
+    def test_release_count_over_horizon(self, period, phase):
+        c = make_conn(period=period, size=1, phase=phase)
+        horizon = phase + 10 * period
+        releases = sum(1 for s in range(horizon) if c.releases_at(s))
+        assert releases == 10

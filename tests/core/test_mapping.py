@@ -1,0 +1,149 @@
+"""Tests for the laxity-to-priority mapping functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mapping import LinearMapping, LogarithmicMapping
+from repro.core.priorities import TrafficClass, class_priority_range
+
+CLASSES = [TrafficClass.BEST_EFFORT, TrafficClass.RT_CONNECTION]
+
+
+class TestLogarithmicMapping:
+    def test_zero_laxity_maps_to_most_urgent(self):
+        m = LogarithmicMapping()
+        for tc in CLASSES:
+            _, hi = class_priority_range(tc)
+            assert m.priority_for(0, tc) == hi
+
+    def test_negative_laxity_saturates_most_urgent(self):
+        m = LogarithmicMapping()
+        _, hi = class_priority_range(TrafficClass.RT_CONNECTION)
+        assert m.priority_for(-50, TrafficClass.RT_CONNECTION) == hi
+
+    def test_bucket_widths_double(self):
+        # Buckets: {0}, {1,2}, {3..6}, {7..14}, ...
+        m = LogarithmicMapping()
+        tc = TrafficClass.RT_CONNECTION
+        _, hi = class_priority_range(tc)
+        assert m.priority_for(1, tc) == hi - 1
+        assert m.priority_for(2, tc) == hi - 1
+        assert m.priority_for(3, tc) == hi - 2
+        assert m.priority_for(6, tc) == hi - 2
+        assert m.priority_for(7, tc) == hi - 3
+
+    def test_huge_laxity_saturates_least_urgent(self):
+        m = LogarithmicMapping()
+        for tc in CLASSES:
+            lo, _ = class_priority_range(tc)
+            assert m.priority_for(10**9, tc) == lo
+
+    def test_resolution_finest_near_deadline(self):
+        # The first few buckets are narrower than the later ones.
+        m = LogarithmicMapping()
+        tc = TrafficClass.RT_CONNECTION
+        lo_b, hi_b = m.bucket_bounds(31, tc)
+        assert (lo_b, hi_b) == (0, 0)  # most urgent level: laxity 0 only
+        lo_b2, hi_b2 = m.bucket_bounds(30, tc)
+        assert hi_b2 - lo_b2 + 1 == 2
+        lo_b3, hi_b3 = m.bucket_bounds(29, tc)
+        assert hi_b3 - lo_b3 + 1 == 4
+
+    @given(
+        st.integers(min_value=-10, max_value=100_000),
+        st.sampled_from(CLASSES),
+    )
+    def test_priority_stays_in_class_range(self, laxity, tc):
+        m = LogarithmicMapping()
+        lo, hi = class_priority_range(tc)
+        assert lo <= m.priority_for(laxity, tc) <= hi
+
+    @given(
+        st.integers(min_value=-10, max_value=100_000),
+        st.sampled_from(CLASSES),
+    )
+    def test_monotone_in_laxity(self, laxity, tc):
+        # Shorter laxity never maps to a lower priority.
+        m = LogarithmicMapping()
+        assert m.priority_for(laxity, tc) >= m.priority_for(laxity + 1, tc)
+
+
+class TestLinearMapping:
+    def test_zero_laxity_maps_to_most_urgent(self):
+        m = LinearMapping(horizon_slots=100)
+        for tc in CLASSES:
+            _, hi = class_priority_range(tc)
+            assert m.priority_for(0, tc) == hi
+
+    def test_horizon_saturates_least_urgent(self):
+        m = LinearMapping(horizon_slots=100)
+        for tc in CLASSES:
+            lo, _ = class_priority_range(tc)
+            assert m.priority_for(100, tc) == lo
+            assert m.priority_for(10_000, tc) == lo
+
+    def test_uniform_bucket_widths(self):
+        # 15 levels over horizon 150 -> buckets of width 10.
+        m = LinearMapping(horizon_slots=150)
+        tc = TrafficClass.RT_CONNECTION
+        _, hi = class_priority_range(tc)
+        assert m.priority_for(1, tc) == hi
+        assert m.priority_for(9, tc) == hi
+        assert m.priority_for(10, tc) == hi - 1
+        assert m.priority_for(19, tc) == hi - 1
+        assert m.priority_for(20, tc) == hi - 2
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            LinearMapping(horizon_slots=0)
+
+    @given(
+        st.integers(min_value=-10, max_value=100_000),
+        st.sampled_from(CLASSES),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_priority_stays_in_class_range(self, laxity, tc, horizon):
+        m = LinearMapping(horizon_slots=horizon)
+        lo, hi = class_priority_range(tc)
+        assert lo <= m.priority_for(laxity, tc) <= hi
+
+    @given(
+        st.integers(min_value=-10, max_value=100_000),
+        st.sampled_from(CLASSES),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_monotone_in_laxity(self, laxity, tc, horizon):
+        m = LinearMapping(horizon_slots=horizon)
+        assert m.priority_for(laxity, tc) >= m.priority_for(laxity + 1, tc)
+
+
+class TestBucketBounds:
+    def test_log_bounds_partition_the_laxity_axis(self):
+        m = LogarithmicMapping()
+        tc = TrafficClass.BEST_EFFORT
+        lo_p, hi_p = class_priority_range(tc)
+        expected_next = 0
+        for p in range(hi_p, lo_p, -1):
+            lo_b, hi_b = m.bucket_bounds(p, tc)
+            assert lo_b == expected_next
+            assert hi_b is not None and hi_b >= lo_b
+            expected_next = hi_b + 1
+        lo_b, hi_b = m.bucket_bounds(lo_p, tc)
+        assert lo_b == expected_next
+        assert hi_b is None  # unbounded terminal bucket
+
+    def test_bounds_of_priority_outside_class_rejected(self):
+        m = LogarithmicMapping()
+        with pytest.raises(ValueError, match="outside class range"):
+            m.bucket_bounds(17, TrafficClass.BEST_EFFORT)
+
+    def test_linear_bounds_match_priority_for(self):
+        m = LinearMapping(horizon_slots=45)
+        tc = TrafficClass.RT_CONNECTION
+        lo_p, hi_p = class_priority_range(tc)
+        for p in range(lo_p, hi_p + 1):
+            lo_b, hi_b = m.bucket_bounds(p, tc)
+            assert m.priority_for(lo_b, tc) == p
+            if hi_b is not None:
+                assert m.priority_for(hi_b, tc) == p
+                assert m.priority_for(hi_b + 1, tc) == p - 1

@@ -1,0 +1,204 @@
+"""Tests for the message model."""
+
+import pytest
+
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+
+
+def make_rt(size=1, created=0, deadline=10, connection_id=7):
+    return Message(
+        source=0,
+        destinations=frozenset([2]),
+        traffic_class=TrafficClass.RT_CONNECTION,
+        size_slots=size,
+        created_slot=created,
+        deadline_slot=deadline,
+        connection_id=connection_id,
+    )
+
+
+def make_be(size=1, created=0, deadline=10):
+    return Message(
+        source=0,
+        destinations=frozenset([2]),
+        traffic_class=TrafficClass.BEST_EFFORT,
+        size_slots=size,
+        created_slot=created,
+        deadline_slot=deadline,
+    )
+
+
+def make_nrt(size=1, created=0):
+    return Message(
+        source=0,
+        destinations=frozenset([2]),
+        traffic_class=TrafficClass.NON_REAL_TIME,
+        size_slots=size,
+        created_slot=created,
+    )
+
+
+class TestValidation:
+    def test_needs_destination(self):
+        with pytest.raises(ValueError, match="at least one destination"):
+            Message(
+                source=0,
+                destinations=frozenset(),
+                traffic_class=TrafficClass.NON_REAL_TIME,
+                size_slots=1,
+                created_slot=0,
+            )
+
+    def test_cannot_send_to_self(self):
+        with pytest.raises(ValueError, match="cannot send to itself"):
+            Message(
+                source=1,
+                destinations=frozenset([1, 2]),
+                traffic_class=TrafficClass.NON_REAL_TIME,
+                size_slots=1,
+                created_slot=0,
+            )
+
+    def test_nrt_must_not_have_deadline(self):
+        with pytest.raises(ValueError, match="no deadline"):
+            Message(
+                source=0,
+                destinations=frozenset([1]),
+                traffic_class=TrafficClass.NON_REAL_TIME,
+                size_slots=1,
+                created_slot=0,
+                deadline_slot=5,
+            )
+
+    def test_rt_requires_deadline(self):
+        with pytest.raises(ValueError, match="require a deadline"):
+            Message(
+                source=0,
+                destinations=frozenset([1]),
+                traffic_class=TrafficClass.RT_CONNECTION,
+                size_slots=1,
+                created_slot=0,
+                connection_id=1,
+            )
+
+    def test_deadline_before_creation_rejected(self):
+        with pytest.raises(ValueError, match="precedes creation"):
+            make_be(created=10, deadline=5)
+
+    def test_connection_id_only_on_rt(self):
+        with pytest.raises(ValueError, match="connection id"):
+            Message(
+                source=0,
+                destinations=frozenset([1]),
+                traffic_class=TrafficClass.BEST_EFFORT,
+                size_slots=1,
+                created_slot=0,
+                deadline_slot=5,
+                connection_id=3,
+            )
+        with pytest.raises(ValueError, match="connection id"):
+            make_rt(connection_id=None)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match=">= 1 slot"):
+            make_rt(size=0)
+
+    def test_message_ids_unique(self):
+        a, b = make_be(), make_be()
+        assert a.msg_id != b.msg_id
+
+
+class TestLaxity:
+    def test_single_slot_laxity(self):
+        msg = make_rt(size=1, created=0, deadline=10)
+        # At slot 0: can wait until slot 10, needs 1 slot -> laxity 10.
+        assert msg.laxity(0) == 10
+        assert msg.laxity(10) == 0
+        assert msg.laxity(11) == -1
+
+    def test_multi_slot_laxity_accounts_remaining_work(self):
+        msg = make_rt(size=3, created=0, deadline=10)
+        # Needs slots 8, 9, 10 at the latest -> laxity 8 at slot 0.
+        assert msg.laxity(0) == 8
+
+    def test_laxity_rises_as_packets_are_sent(self):
+        msg = make_rt(size=3, created=0, deadline=10)
+        msg.record_sent_packet(0)
+        assert msg.laxity(1) == 10 - 1 - 2 + 1  # 2 packets left at slot 1
+
+    def test_nrt_has_no_laxity(self):
+        assert make_nrt().laxity(5) is None
+
+    def test_is_late(self):
+        msg = make_rt(deadline=5)
+        assert not msg.is_late(5)
+        assert msg.is_late(6)
+
+
+class TestLifecycle:
+    def test_single_packet_delivery(self):
+        msg = make_rt(size=1)
+        msg.record_sent_packet(slot=4)
+        assert msg.status is MessageStatus.DELIVERED
+        assert msg.completed_slot == 4
+        assert msg.met_deadline() is True
+
+    def test_multi_packet_transitions(self):
+        msg = make_rt(size=3, deadline=20)
+        assert msg.status is MessageStatus.PENDING
+        msg.record_sent_packet(5)
+        assert msg.status is MessageStatus.IN_TRANSIT
+        assert msg.remaining_slots == 2
+        msg.record_sent_packet(6)
+        msg.record_sent_packet(7)
+        assert msg.status is MessageStatus.DELIVERED
+        assert msg.completed_slot == 7
+
+    def test_missed_deadline_detected(self):
+        msg = make_rt(deadline=5)
+        msg.record_sent_packet(slot=9)
+        assert msg.met_deadline() is False
+
+    def test_met_deadline_none_before_delivery(self):
+        msg = make_rt()
+        assert msg.met_deadline() is None
+
+    def test_met_deadline_none_for_nrt(self):
+        msg = make_nrt()
+        msg.record_sent_packet(0)
+        assert msg.met_deadline() is None
+
+    def test_cannot_send_past_completion(self):
+        msg = make_rt(size=1)
+        msg.record_sent_packet(0)
+        with pytest.raises(ValueError, match="already delivered"):
+            msg.record_sent_packet(1)
+
+    def test_drop(self):
+        msg = make_rt()
+        msg.drop()
+        assert msg.status is MessageStatus.DROPPED
+
+    def test_cannot_drop_delivered(self):
+        msg = make_rt(size=1)
+        msg.record_sent_packet(0)
+        with pytest.raises(ValueError, match="already delivered"):
+            msg.drop()
+
+    def test_cannot_send_after_drop(self):
+        msg = make_rt()
+        msg.drop()
+        with pytest.raises(ValueError, match="dropped"):
+            msg.record_sent_packet(0)
+
+    def test_multicast_flag(self):
+        assert not make_rt().is_multicast
+        multi = Message(
+            source=0,
+            destinations=frozenset([1, 2]),
+            traffic_class=TrafficClass.NON_REAL_TIME,
+            size_slots=1,
+            created_slot=0,
+        )
+        assert multi.is_multicast

@@ -1,0 +1,76 @@
+"""Tests for the Table 1 priority allocation."""
+
+import pytest
+
+from repro.core.priorities import (
+    BEST_EFFORT_RANGE,
+    PRIO_NON_REAL_TIME,
+    PRIO_NOTHING_TO_SEND,
+    RT_CONNECTION_RANGE,
+    TrafficClass,
+    class_priority_range,
+    priority_to_class,
+)
+
+
+class TestTable1Allocation:
+    """The exact rows of Table 1."""
+
+    def test_level_0_is_nothing_to_send(self):
+        assert PRIO_NOTHING_TO_SEND == 0
+        assert priority_to_class(0) is None
+
+    def test_level_1_is_non_real_time(self):
+        assert PRIO_NON_REAL_TIME == 1
+        assert priority_to_class(1) is TrafficClass.NON_REAL_TIME
+
+    def test_levels_2_to_16_are_best_effort(self):
+        assert BEST_EFFORT_RANGE == (2, 16)
+        for p in range(2, 17):
+            assert priority_to_class(p) is TrafficClass.BEST_EFFORT
+
+    def test_levels_17_to_31_are_rt_connection(self):
+        assert RT_CONNECTION_RANGE == (17, 31)
+        for p in range(17, 32):
+            assert priority_to_class(p) is TrafficClass.RT_CONNECTION
+
+    def test_all_32_levels_are_allocated(self):
+        # Every 5-bit value maps somewhere; nothing is unassigned.
+        for p in range(32):
+            priority_to_class(p)  # must not raise
+
+    def test_out_of_field_rejected(self):
+        with pytest.raises(ValueError, match="outside the 5-bit field"):
+            priority_to_class(32)
+
+
+class TestClassPrecedence:
+    def test_rt_outranks_best_effort_outranks_nrt(self):
+        # Any RT level beats any BE level beats the NRT level.
+        rt_lo, _ = RT_CONNECTION_RANGE
+        be_lo, be_hi = BEST_EFFORT_RANGE
+        assert rt_lo > be_hi
+        assert be_lo > PRIO_NON_REAL_TIME
+        assert PRIO_NON_REAL_TIME > PRIO_NOTHING_TO_SEND
+
+    def test_enum_order_matches_precedence(self):
+        assert (
+            TrafficClass.RT_CONNECTION
+            > TrafficClass.BEST_EFFORT
+            > TrafficClass.NON_REAL_TIME
+        )
+
+    def test_class_priority_range_round_trip(self):
+        for tc in TrafficClass:
+            lo, hi = class_priority_range(tc)
+            assert priority_to_class(lo) is tc
+            assert priority_to_class(hi) is tc
+
+    def test_ranges_are_disjoint_and_cover_1_to_31(self):
+        seen = {}
+        for tc in TrafficClass:
+            lo, hi = class_priority_range(tc)
+            for p in range(lo, hi + 1):
+                assert p not in seen, f"level {p} allocated twice"
+                seen[p] = tc
+        assert sorted(seen.keys()) == list(range(1, 32))

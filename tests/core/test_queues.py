@@ -1,0 +1,204 @@
+"""Tests for the per-node transmit queues and class precedence."""
+
+import pytest
+
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+from repro.core.queues import NodeQueues
+
+
+def rt(deadline, node=0, size=1, created=0):
+    return Message(
+        source=node,
+        destinations=frozenset([node + 1]),
+        traffic_class=TrafficClass.RT_CONNECTION,
+        size_slots=size,
+        created_slot=created,
+        deadline_slot=deadline,
+        connection_id=0,
+    )
+
+
+def be(deadline, node=0, size=1, created=0):
+    return Message(
+        source=node,
+        destinations=frozenset([node + 1]),
+        traffic_class=TrafficClass.BEST_EFFORT,
+        size_slots=size,
+        created_slot=created,
+        deadline_slot=deadline,
+    )
+
+
+def nrt(node=0, size=1, created=0):
+    return Message(
+        source=node,
+        destinations=frozenset([node + 1]),
+        traffic_class=TrafficClass.NON_REAL_TIME,
+        size_slots=size,
+        created_slot=created,
+    )
+
+
+class TestEnqueue:
+    def test_rejects_foreign_messages(self):
+        q = NodeQueues(node=0)
+        with pytest.raises(ValueError, match="originates at node 2"):
+            q.enqueue(rt(10, node=2))
+
+    def test_rejects_non_pending(self):
+        q = NodeQueues(node=0)
+        msg = rt(10)
+        msg.record_sent_packet(0)
+        with pytest.raises(ValueError, match="pending"):
+            q.enqueue(msg)
+
+    def test_empty_queue_head_is_none(self):
+        assert NodeQueues(node=0).head() is None
+        assert NodeQueues(node=0).is_empty
+
+
+class TestClassPrecedence:
+    """Section 3: BE requested only when no RT queued; NRT only when
+    neither RT nor BE queued."""
+
+    def test_rt_beats_best_effort_even_with_later_deadline(self):
+        q = NodeQueues(node=0)
+        urgent_be = be(deadline=1)
+        relaxed_rt = rt(deadline=1000)
+        q.enqueue(urgent_be)
+        q.enqueue(relaxed_rt)
+        assert q.head() is relaxed_rt
+
+    def test_best_effort_beats_nrt(self):
+        q = NodeQueues(node=0)
+        n = nrt()
+        b = be(deadline=500)
+        q.enqueue(n)
+        q.enqueue(b)
+        assert q.head() is b
+
+    def test_nrt_served_when_alone(self):
+        q = NodeQueues(node=0)
+        n = nrt()
+        q.enqueue(n)
+        assert q.head() is n
+
+
+class TestEdfWithinClass:
+    def test_earliest_deadline_first(self):
+        q = NodeQueues(node=0)
+        late = rt(deadline=100)
+        early = rt(deadline=10)
+        q.enqueue(late)
+        q.enqueue(early)
+        assert q.head() is early
+
+    def test_deadline_tie_broken_by_arrival(self):
+        q = NodeQueues(node=0)
+        first = rt(deadline=50)
+        second = rt(deadline=50)
+        q.enqueue(first)
+        q.enqueue(second)
+        assert q.head() is first
+
+    def test_nrt_is_fifo(self):
+        q = NodeQueues(node=0)
+        first, second = nrt(), nrt()
+        q.enqueue(first)
+        q.enqueue(second)
+        assert q.head() is first
+
+    def test_multi_slot_message_keeps_head_until_done(self):
+        q = NodeQueues(node=0)
+        big = rt(deadline=100, size=3)
+        q.enqueue(big)
+        q.enqueue(rt(deadline=200))
+        for slot in range(3):
+            assert q.head() is big
+            big.record_sent_packet(slot)
+        assert q.head() is not big
+
+    def test_delivered_head_is_skipped(self):
+        q = NodeQueues(node=0)
+        a, b = rt(deadline=10), rt(deadline=20)
+        q.enqueue(a)
+        q.enqueue(b)
+        a.record_sent_packet(0)
+        assert q.head() is b
+
+    def test_preemption_within_class(self):
+        # A newly arrived earlier-deadline message preempts the current
+        # head between packets (EDF is preemptive at slot granularity).
+        q = NodeQueues(node=0)
+        big = rt(deadline=100, size=3)
+        q.enqueue(big)
+        big.record_sent_packet(0)
+        urgent = rt(deadline=5, created=1)
+        q.enqueue(urgent)
+        assert q.head() is urgent
+
+
+class TestDropLate:
+    def test_drops_only_late_messages(self):
+        q = NodeQueues(node=0)
+        late = rt(deadline=5)
+        ok = rt(deadline=50)
+        q.enqueue(late)
+        q.enqueue(ok)
+        dropped = q.drop_late(current_slot=10)
+        assert dropped == [late]
+        assert late.status is MessageStatus.DROPPED
+        assert q.head() is ok
+
+    def test_nrt_never_dropped(self):
+        q = NodeQueues(node=0)
+        n = nrt()
+        q.enqueue(n)
+        assert q.drop_late(current_slot=10**6) == []
+        assert q.head() is n
+
+    def test_multi_slot_message_dropped_when_unfinishable(self):
+        q = NodeQueues(node=0)
+        # 3 slots of work, deadline 10: latest viable start is slot 8.
+        msg = rt(deadline=10, size=3)
+        q.enqueue(msg)
+        assert q.drop_late(current_slot=8) == []
+        dropped = q.drop_late(current_slot=9)
+        assert dropped == [msg]
+
+    def test_queue_order_preserved_after_drop(self):
+        q = NodeQueues(node=0)
+        msgs = [rt(deadline=d) for d in (30, 10, 20, 5)]
+        for m in msgs:
+            q.enqueue(m)
+        q.drop_late(current_slot=15)  # drops deadlines 10 and 5
+        assert q.head().deadline_slot == 20
+
+
+class TestCounts:
+    def test_pending_count_by_class(self):
+        q = NodeQueues(node=0)
+        q.enqueue(rt(deadline=10))
+        q.enqueue(rt(deadline=20))
+        q.enqueue(be(deadline=30))
+        q.enqueue(nrt())
+        assert q.pending_count() == 4
+        assert q.pending_count(TrafficClass.RT_CONNECTION) == 2
+        assert q.pending_count(TrafficClass.BEST_EFFORT) == 1
+        assert q.pending_count(TrafficClass.NON_REAL_TIME) == 1
+
+    def test_pending_count_excludes_finished(self):
+        q = NodeQueues(node=0)
+        a = rt(deadline=10)
+        q.enqueue(a)
+        a.record_sent_packet(0)
+        assert q.pending_count() == 0
+
+    def test_pending_messages_lists_live_only(self):
+        q = NodeQueues(node=0)
+        a, b = rt(deadline=10), rt(deadline=20)
+        q.enqueue(a)
+        q.enqueue(b)
+        a.drop()
+        assert q.pending_messages() == [b]

@@ -1,0 +1,137 @@
+"""Model-based (stateful) testing of the per-node queues.
+
+Hypothesis drives random operation sequences -- enqueue, transmit one
+packet of the head, drop-late, clock advance -- against a trivially
+correct reference model (a plain list re-sorted on every query).  The
+queue's head must agree with the model's after every step, across class
+precedence, EDF order, multi-slot messages, and drops.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.messages import Message, MessageStatus
+from repro.core.priorities import TrafficClass
+from repro.core.queues import NodeQueues
+
+
+class QueueModel(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.queues = NodeQueues(node=0)
+        self.model: list[Message] = []
+        self.slot = 0
+        self._arrival_counter = 0
+        self._arrival_order: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Reference model
+    # ------------------------------------------------------------------
+
+    def _live(self) -> list[Message]:
+        return [
+            m
+            for m in self.model
+            if m.status in (MessageStatus.PENDING, MessageStatus.IN_TRANSIT)
+        ]
+
+    def _model_head(self) -> Message | None:
+        live = self._live()
+        if not live:
+            return None
+
+        def key(m: Message):
+            deadline = (
+                m.deadline_slot
+                if m.deadline_slot is not None
+                else self._arrival_order[m.msg_id]
+            )
+            return (-int(m.traffic_class), deadline, m.msg_id)
+
+        return min(live, key=key)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @rule(
+        tc=st.sampled_from(list(TrafficClass)),
+        rel_deadline=st.integers(min_value=0, max_value=50),
+        size=st.integers(min_value=1, max_value=4),
+    )
+    def enqueue(self, tc, rel_deadline, size):
+        deadline = (
+            None
+            if tc is TrafficClass.NON_REAL_TIME
+            else self.slot + rel_deadline
+        )
+        msg = Message(
+            source=0,
+            destinations=frozenset([1]),
+            traffic_class=tc,
+            size_slots=size,
+            created_slot=self.slot,
+            deadline_slot=deadline,
+            connection_id=0 if tc is TrafficClass.RT_CONNECTION else None,
+        )
+        self.queues.enqueue(msg)
+        self.model.append(msg)
+        self._arrival_order[msg.msg_id] = self._arrival_counter
+        self._arrival_counter += 1
+
+    @rule()
+    def transmit_head_packet(self):
+        head = self.queues.head()
+        if head is None:
+            return
+        head.record_sent_packet(self.slot)
+
+    @rule(advance=st.integers(min_value=1, max_value=5))
+    def advance_clock(self, advance):
+        self.slot += advance
+
+    @rule()
+    def drop_late(self):
+        dropped = self.queues.drop_late(self.slot)
+        for msg in dropped:
+            assert msg.is_late(self.slot)
+        # The model sees the same status mutations (shared objects).
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def head_matches_model(self):
+        actual = self.queues.head()
+        expected = self._model_head()
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            # Heads must agree on scheduling-relevant attributes (exact
+            # object identity can differ only on true ties, which the
+            # msg_id tie-break removes).
+            assert actual.msg_id == expected.msg_id
+
+    @invariant()
+    def pending_count_matches_model(self):
+        assert self.queues.pending_count() == len(self._live())
+
+    @invariant()
+    def pending_messages_match_model(self):
+        assert {m.msg_id for m in self.queues.pending_messages()} == {
+            m.msg_id for m in self._live()
+        }
+
+
+TestQueueModel = QueueModel.TestCase
+TestQueueModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,190 @@
+"""Tests for the timing equations (1)-(6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.timing import NetworkTiming
+from repro.phy.constants import FIBRE_PROPAGATION_DELAY_S_PER_M
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+
+
+def timing(n=8, link_m=10.0, payload=1024, node_delay=100e-9):
+    return NetworkTiming(
+        topology=RingTopology.uniform(n, link_m),
+        link=FibreRibbonLink(),
+        slot_payload_bytes=payload,
+        node_delay_s=node_delay,
+    )
+
+
+class TestEquation1Handover:
+    def test_formula_p_l_d(self):
+        t = timing(n=8, link_m=10.0)
+        p = FIBRE_PROPAGATION_DELAY_S_PER_M
+        for hops in range(8):
+            assert t.handover_time_s(hops) == pytest.approx(p * 10.0 * hops)
+
+    def test_worst_case_is_n_minus_1_hops(self):
+        t = timing(n=8, link_m=10.0)
+        assert t.max_handover_time_s == pytest.approx(t.handover_time_s(7))
+
+    def test_zero_hops_is_free(self):
+        assert timing().handover_time_s(0) == 0.0
+
+    def test_hops_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="hop count"):
+            timing(n=8).handover_time_s(8)
+
+    @given(st.integers(min_value=2, max_value=64), st.floats(min_value=0.1, max_value=1000))
+    def test_worst_handover_scales_with_ring(self, n, link_m):
+        t = timing(n=n, link_m=link_m)
+        p = FIBRE_PROPAGATION_DELAY_S_PER_M
+        assert t.max_handover_time_s == pytest.approx(p * link_m * (n - 1), rel=1e-9)
+
+
+class TestEquation2MinSlot:
+    def test_formula_n_tnode_plus_tprop(self):
+        t = timing(n=8, link_m=10.0, node_delay=100e-9)
+        t_prop = t.topology.ring_propagation_delay_s
+        from repro.phy.packets import distribution_packet_length_bits
+
+        start_bit = t.link.control_transfer_time_s(1)
+        distribution = t.link.control_transfer_time_s(
+            distribution_packet_length_bits(8)
+        )
+        assert t.min_slot_length_s == pytest.approx(
+            start_bit + 8 * t.effective_node_delay_s + t_prop + distribution
+        )
+
+    def test_effective_node_delay_includes_request_append(self):
+        # t_node = processing + (5 + 2N) bits at the control bit rate.
+        t = timing(n=8, node_delay=100e-9)
+        append = (5 + 16) / 400e6
+        assert t.effective_node_delay_s == pytest.approx(100e-9 + append)
+
+    def test_node_delay_grows_with_ring_size(self):
+        assert timing(n=32).effective_node_delay_s > timing(n=4).effective_node_delay_s
+
+    def test_slot_length_never_below_minimum(self):
+        # A tiny payload cannot shrink the slot below the Eq. (2) floor.
+        t = timing(n=32, link_m=100.0, payload=1)
+        assert t.slot_length_s == t.min_slot_length_s
+        assert t.slot_length_s > t.nominal_slot_length_s
+
+    def test_large_payload_dominates(self):
+        t = timing(n=4, link_m=1.0, payload=64 * 1024)
+        assert t.slot_length_s == t.nominal_slot_length_s
+        assert t.slot_length_s > t.min_slot_length_s
+
+    def test_nominal_slot_for_1kib_at_400mhz(self):
+        assert timing(payload=1024).nominal_slot_length_s == pytest.approx(2.56e-6)
+
+
+class TestEquations34Latency:
+    def test_worst_case_latency_formula(self):
+        t = timing()
+        expected = 2 * t.slot_length_s + t.max_handover_time_s
+        assert t.worst_case_latency_s == pytest.approx(expected)
+
+    def test_max_delay_adds_latency_to_deadline(self):
+        t = timing()
+        assert t.max_delay_s(1e-3) == pytest.approx(1e-3 + t.worst_case_latency_s)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            timing().max_delay_s(-1.0)
+
+
+class TestEquations56Umax:
+    def test_formula(self):
+        t = timing()
+        expected = t.slot_length_s / (t.slot_length_s + t.max_handover_time_s)
+        assert t.u_max == pytest.approx(expected)
+
+    def test_umax_strictly_below_one(self):
+        assert timing().u_max < 1.0
+
+    def test_umax_approaches_one_for_long_slots(self):
+        # Longer slots amortise the hand-over gap.
+        small = timing(payload=256)
+        large = timing(payload=64 * 1024)
+        assert large.u_max > small.u_max
+        assert large.u_max > 0.99
+
+    def test_umax_degrades_with_ring_length(self):
+        short = timing(link_m=10.0)
+        long = timing(link_m=1000.0)
+        assert long.u_max < short.u_max
+
+    def test_umax_degrades_with_node_count(self):
+        assert timing(n=32).u_max < timing(n=4).u_max
+
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.floats(min_value=0.1, max_value=10_000),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_umax_always_in_unit_interval(self, n, link_m, payload):
+        t = timing(n=n, link_m=link_m, payload=payload)
+        assert 0.0 < t.u_max < 1.0
+
+
+class TestFeasibilityTest:
+    def conn(self, period, size):
+        return LogicalRealTimeConnection(
+            source=0,
+            destinations=frozenset([1]),
+            period_slots=period,
+            size_slots=size,
+        )
+
+    def test_empty_set_is_feasible(self):
+        assert timing().edf_feasible([])
+
+    def test_low_utilisation_feasible(self):
+        t = timing()
+        assert t.edf_feasible([self.conn(10, 2), self.conn(100, 10)])
+
+    def test_over_umax_infeasible(self):
+        t = timing()
+        # Total utilisation 1.0 > U_max (< 1).
+        assert not t.edf_feasible([self.conn(2, 1), self.conn(2, 1)])
+
+    def test_boundary_exactly_at_umax(self):
+        t = timing()
+        u_max = t.u_max
+        # Build a connection with utilisation just below and above U_max.
+        period = 1000
+        below = self.conn(period, int(u_max * period) - 1)
+        above = self.conn(period, int(u_max * period) + 2)
+        assert t.edf_feasible([below])
+        assert not t.edf_feasible([above])
+
+    def test_total_utilisation_sums(self):
+        t = timing()
+        conns = [self.conn(10, 1), self.conn(20, 3)]
+        assert t.total_utilisation(conns) == pytest.approx(0.1 + 0.15)
+
+
+class TestDerived:
+    def test_effective_slot_rate(self):
+        t = timing()
+        assert t.effective_slot_rate_hz() == pytest.approx(
+            1.0 / (t.slot_length_s + t.max_handover_time_s)
+        )
+
+    def test_guaranteed_data_rate_is_umax_fraction(self):
+        t = timing()
+        assert t.guaranteed_data_rate_bit_per_s() == pytest.approx(
+            t.u_max * t.link.data_rate_bit_per_s
+        )
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError, match=">= 1 byte"):
+            timing(payload=0)
+
+    def test_negative_node_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            timing(node_delay=-1e-9)

@@ -1,0 +1,114 @@
+"""Property: the exact analysis and the simulator agree.
+
+In analysis mode (single grant per slot, Section 5's model) the network
+is a unit-speed uniprocessor over message-slots, so the processor-demand
+test is exact: a synchronous periodic set is schedulable iff the test
+passes.  Hypothesis generates random sets around the boundary; the
+simulator (synchronous release = critical instant, one hyperperiod plus
+warm-up) must agree in both directions.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.schedulability import (
+    hyperperiod,
+    processor_demand_test,
+    slot_domain_utilisation,
+)
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.sim.runner import ScenarioConfig, run_scenario
+
+
+@st.composite
+def connection_sets(draw):
+    """Small random synchronous sets with lcm-friendly periods."""
+    n_nodes = draw(st.integers(min_value=3, max_value=8))
+    k = draw(st.integers(min_value=1, max_value=4))
+    conns = []
+    for _ in range(k):
+        period = draw(st.sampled_from([4, 5, 8, 10, 16, 20]))
+        size = draw(st.integers(min_value=1, max_value=period))
+        src = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        dst = (src + draw(st.integers(min_value=1, max_value=n_nodes - 1))) % n_nodes
+        conns.append(
+            LogicalRealTimeConnection(
+                source=src,
+                destinations=frozenset([dst]),
+                period_slots=period,
+                size_slots=size,
+                phase_slots=0,  # synchronous release: the critical instant
+            )
+        )
+    return n_nodes, conns
+
+
+@given(connection_sets())
+@settings(max_examples=40, deadline=None)
+def test_feasible_sets_never_miss_in_analysis_mode(case):
+    n_nodes, conns = case
+    assume(processor_demand_test(conns))
+    h = hyperperiod(conns)
+    assume(h <= 400)  # keep runs fast
+    config = ScenarioConfig(
+        n_nodes=n_nodes,
+        connections=tuple(conns),
+        spatial_reuse=False,
+    )
+    report = run_scenario(config, n_slots=5 * h + 50)
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    assert rt.deadline_missed == 0
+
+
+@given(connection_sets())
+@settings(max_examples=40, deadline=None)
+def test_infeasible_sets_miss_in_analysis_mode(case):
+    n_nodes, conns = case
+    assume(not processor_demand_test(conns))
+    # Exclude marginal cases where U barely exceeds 1 (misses take long
+    # to accumulate); the boundary itself is covered by bench E5.
+    assume(slot_domain_utilisation(conns) > 1.1)
+    h = hyperperiod(conns)
+    assume(h <= 400)
+    config = ScenarioConfig(
+        n_nodes=n_nodes,
+        connections=tuple(conns),
+        spatial_reuse=False,
+        drop_late=True,
+    )
+    report = run_scenario(config, n_slots=10 * h + 100)
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    assert rt.deadline_missed > 0
+
+
+@given(connection_sets())
+@settings(max_examples=30, deadline=None)
+def test_utilisation_test_equals_demand_test_for_implicit_deadlines(case):
+    _, conns = case
+    u = slot_domain_utilisation(conns)
+    assert processor_demand_test(conns) == (u <= 1.0 + 1e-12)
+
+
+def test_exactness_at_u_equals_one():
+    """Deterministic pin of the boundary: U = 1 synchronous set runs a
+    full hyperperiod with zero idle slots and zero misses."""
+    conns = [
+        LogicalRealTimeConnection(
+            source=i,
+            destinations=frozenset([(i + 2) % 6]),
+            period_slots=4,
+            size_slots=1,
+            phase_slots=0,
+        )
+        for i in range(4)
+    ]
+    assert math.isclose(slot_domain_utilisation(conns), 1.0)
+    config = ScenarioConfig(n_nodes=6, connections=tuple(conns), spatial_reuse=False)
+    report = run_scenario(config, n_slots=4000)
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    assert rt.deadline_missed == 0
+    # Steady state: every slot after warm-up carries a packet.
+    assert report.packets_sent >= 3997

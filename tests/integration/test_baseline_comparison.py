@@ -1,0 +1,138 @@
+"""Integration: CCR-EDF versus the baselines on identical workloads.
+
+Reproduces the qualitative claims of Section 1: CC-FPR's simple clocking
+causes priority inversion and cannot guarantee hard real-time traffic;
+the EDF hand-over strategy removes the inversion; TDMA guarantees but
+wastes urgency-blind bandwidth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.sim.runner import ScenarioConfig, run_scenario
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+
+def compare(conns, protocols=("ccr-edf", "upper-edf", "ccfpr", "tdma"), n_slots=20_000, n_nodes=8):
+    out = {}
+    for name in protocols:
+        config = ScenarioConfig(
+            n_nodes=n_nodes, protocol=name, connections=tuple(conns)
+        )
+        out[name] = run_scenario(config, n_slots=n_slots)
+    return out
+
+
+def asymmetric_hot_node_workload():
+    """One node needs 60% of the slots with period 10 -- admitted by
+    CCR-EDF (U < U_max), hopeless under per-node 1/N guarantees."""
+    return [
+        LogicalRealTimeConnection(
+            source=0, destinations=frozenset([4]), period_slots=10, size_slots=6
+        )
+    ]
+
+
+class TestPriorityInversion:
+    def test_ccr_edf_never_denies_by_break(self):
+        rng = np.random.default_rng(0)
+        conns = random_connection_set(rng, 8, 12, 0.9, period_range=(10, 100))
+        conns = scale_connections_to_utilisation(conns, 0.9)
+        reports = compare(conns, protocols=("ccr-edf",))
+        # Denials may occur for non-hp messages, but the hp message is
+        # never denied -- verified structurally by zero RT misses below.
+        rt = reports["ccr-edf"].class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_missed == 0
+
+    def test_rotating_break_denies_under_round_robin(self):
+        reports = compare(asymmetric_hot_node_workload())
+        # The hybrid and CC-FPR rotate the break through node 0's path.
+        assert reports["upper-edf"].break_denials > 0
+        assert reports["ccfpr"].break_denials > 0
+        # CCR-EDF parks the clock at the only active sender: no denials.
+        assert reports["ccr-edf"].break_denials == 0
+
+    def test_hot_node_misses_under_baselines_not_ccr_edf(self):
+        reports = compare(asymmetric_hot_node_workload())
+        rt = {
+            name: r.class_stats(TrafficClass.RT_CONNECTION)
+            for name, r in reports.items()
+        }
+        assert rt["ccr-edf"].deadline_missed == 0
+        # 6 slots of work per 10-slot deadline with only 1 slot per 8-slot
+        # rotation: both rotation-based protocols collapse.
+        assert rt["ccfpr"].deadline_miss_ratio > 0.5
+        assert rt["tdma"].deadline_miss_ratio > 0.5
+
+    def test_upper_layer_edf_insufficient(self):
+        """Global EDF ordering alone does not rescue the hot node: the
+        clock hand-over strategy is the load-bearing mechanism."""
+        reports = compare(asymmetric_hot_node_workload(), protocols=("upper-edf",))
+        rt = reports["upper-edf"].class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_miss_ratio > 0.1
+
+
+class TestSymmetricLoad:
+    def test_all_protocols_handle_light_symmetric_load(self):
+        conns = [
+            LogicalRealTimeConnection(
+                source=i,
+                destinations=frozenset([(i + 1) % 8]),
+                period_slots=80,
+                size_slots=1,
+                phase_slots=10 * i,
+            )
+            for i in range(8)
+        ]
+        reports = compare(conns)
+        for name, report in reports.items():
+            rt = report.class_stats(TrafficClass.RT_CONNECTION)
+            assert rt.deadline_missed == 0, f"{name} missed deadlines"
+
+    def test_ccr_edf_latency_beats_tdma_under_light_load(self):
+        conns = [
+            LogicalRealTimeConnection(
+                source=i,
+                destinations=frozenset([(i + 1) % 8]),
+                period_slots=100,
+                size_slots=1,
+                phase_slots=13 * i,
+            )
+            for i in range(8)
+        ]
+        reports = compare(conns, protocols=("ccr-edf", "tdma"))
+        edf_lat = reports["ccr-edf"].class_stats(
+            TrafficClass.RT_CONNECTION
+        ).mean_latency_slots
+        tdma_lat = reports["tdma"].class_stats(
+            TrafficClass.RT_CONNECTION
+        ).mean_latency_slots
+        # TDMA waits for slot ownership (~N/2 mean); EDF sends at once.
+        assert edf_lat < tdma_lat
+
+
+class TestGapBehaviour:
+    def test_ccfpr_gap_constant_ccr_edf_gap_variable(self):
+        rng = np.random.default_rng(7)
+        conns = random_connection_set(rng, 8, 10, 0.6, period_range=(10, 100))
+        reports = compare(conns, protocols=("ccr-edf", "ccfpr"))
+        # CC-FPR: every hand-over is exactly 1 hop (slot 0 has none --
+        # the initial master starts the clock without a hand-over).
+        ccfpr_hops = reports["ccfpr"].handover_hops
+        assert set(ccfpr_hops.keys()) <= {0, 1}
+        assert ccfpr_hops[1] == reports["ccfpr"].slots_simulated - 1
+        # CCR-EDF: hand-over distance varies (0 when the master keeps the
+        # clock, longer jumps when urgency moves around the ring).
+        edf_hops = set(reports["ccr-edf"].handover_hops.keys())
+        assert len(edf_hops) > 1
+
+    def test_idle_ccr_edf_pays_no_gap(self):
+        config = ScenarioConfig(n_nodes=8, protocol="ccr-edf")
+        report = run_scenario(config, n_slots=1000)
+        assert report.gap_time_s == 0.0
+        config = ScenarioConfig(n_nodes=8, protocol="ccfpr")
+        report = run_scenario(config, n_slots=1000)
+        assert report.gap_time_s > 0.0

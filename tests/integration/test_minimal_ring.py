@@ -1,0 +1,92 @@
+"""Edge case: the minimal two-node ring.
+
+N = 2 stresses every modular-arithmetic boundary at once: one-bit
+hp-index fields, single-grant distribution packets, hand-over distance
+at most 1, paths of exactly one link, and a clock break that always
+sits on the *other* link.  Everything must still hold together.
+"""
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.phy.packets import (
+    collection_packet_length_bits,
+    distribution_packet_length_bits,
+    index_field_width,
+)
+from repro.ring.topology import RingTopology
+from repro.sim.runner import PROTOCOLS, ScenarioConfig, make_timing, run_scenario
+
+
+class TestTwoNodeFormats:
+    def test_packet_lengths(self):
+        # Collection: 1 + 2*(5 + 4) = 19; distribution: 1 + 1 + 1 = 3.
+        assert collection_packet_length_bits(2) == 19
+        assert distribution_packet_length_bits(2) == 3
+        assert index_field_width(2) == 1
+
+    def test_topology_arithmetic(self):
+        ring = RingTopology.uniform(2, 10.0)
+        assert ring.distance(0, 1) == 1
+        assert ring.distance(1, 0) == 1
+        assert ring.path_links(0, 1) == (0,)
+        assert ring.path_links(1, 0) == (1,)
+        one_link = ring.segments[0].propagation_delay_s
+        assert ring.max_handover_delay_s == pytest.approx(one_link)
+
+
+class TestTwoNodeSimulation:
+    def conns(self):
+        return (
+            LogicalRealTimeConnection(
+                source=0, destinations=frozenset([1]), period_slots=4, size_slots=1
+            ),
+            LogicalRealTimeConnection(
+                source=1,
+                destinations=frozenset([0]),
+                period_slots=4,
+                size_slots=1,
+                phase_slots=1,
+            ),
+        )
+
+    def test_ccr_edf_runs_clean(self):
+        config = ScenarioConfig(n_nodes=2, connections=self.conns())
+        report = run_scenario(config, n_slots=4000)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.released == 2000
+        assert rt.deadline_missed == 0
+
+    def test_no_spatial_reuse_possible_between_the_two_paths(self):
+        """0->1 and 1->0 are disjoint links... but the break always
+        occupies the link entering the master, so only one transmission
+        per slot is ever feasible on a 2-ring."""
+        config = ScenarioConfig(n_nodes=2, connections=self.conns())
+        report = run_scenario(config, n_slots=4000)
+        assert report.spatial_reuse_factor == pytest.approx(1.0)
+
+    def test_all_protocols_survive_n2(self):
+        for proto in PROTOCOLS:
+            config = ScenarioConfig(
+                n_nodes=2, protocol=proto, connections=self.conns()
+            )
+            report = run_scenario(config, n_slots=1000)
+            assert report.slots_simulated == 1000
+            assert report.packets_sent > 0
+
+    def test_umax_on_two_nodes(self):
+        timing = make_timing(ScenarioConfig(n_nodes=2))
+        # Worst hand-over = 1 link; U_max close to 1 for 1 KiB slots.
+        assert 0.9 < timing.u_max < 1.0
+
+    def test_full_load_single_direction(self):
+        conn = LogicalRealTimeConnection(
+            source=0, destinations=frozenset([1]), period_slots=2, size_slots=2
+        )
+        config = ScenarioConfig(n_nodes=2, connections=(conn,))
+        report = run_scenario(config, n_slots=2000)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_missed == 0
+        # Master parks at node 0: no gaps at all.
+        assert report.gap_time_s == 0.0

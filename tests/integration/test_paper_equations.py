@@ -1,0 +1,167 @@
+"""Integration: the analytical equations against simulation measurement.
+
+Every timing equation of Sections 4-6 is checked here against what the
+simulator actually measures, closing the loop between the analysis
+module and the engine.
+"""
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.engine import Simulation
+from repro.traffic.base import TrafficSource
+from repro.core.messages import Message
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(n=8, link_m=10.0, sources=()):
+    topology = RingTopology.uniform(n, link_m)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    return Simulation(timing, CcrEdfProtocol(topology), sources=sources), timing
+
+
+class _OneShot(TrafficSource):
+    """Releases a single message at a chosen slot."""
+
+    def __init__(self, node, dst, slot, deadline_offset=100):
+        self.node = node
+        self.dst = dst
+        self.slot = slot
+        self.deadline_offset = deadline_offset
+        self.message = None
+
+    def messages_for_slot(self, slot):
+        if slot != self.slot:
+            return []
+        self.message = Message(
+            source=self.node,
+            destinations=frozenset([self.dst]),
+            traffic_class=TrafficClass.BEST_EFFORT,
+            size_slots=1,
+            created_slot=slot,
+            deadline_slot=slot + self.deadline_offset,
+        )
+        return [self.message]
+
+
+class TestEquation1MeasuredGaps:
+    def test_measured_gap_equals_p_l_d(self):
+        """Force a hand-over of known distance and read the gap."""
+        # Sender at node 2 (slot 5), then node 6 (slot 9): hand-over 2->6.
+        src_a = _OneShot(2, 3, slot=5)
+        src_b = _OneShot(6, 7, slot=9)
+        sim, timing = build(sources=[src_a, src_b])
+        gaps = [sim.step().gap_s for _ in range(15)]
+        expected = timing.handover_time_s(4)  # distance 2 -> 6
+        assert any(g == pytest.approx(expected) for g in gaps)
+
+    def test_worst_case_gap_upstream_neighbour(self):
+        # Hand-over from node 1 to node 0: N-1 = 7 hops.
+        src_a = _OneShot(1, 2, slot=5)
+        src_b = _OneShot(0, 1, slot=9)
+        sim, timing = build(sources=[src_a, src_b])
+        gaps = [sim.step().gap_s for _ in range(15)]
+        assert max(gaps) == pytest.approx(timing.max_handover_time_s)
+
+
+class TestEquation4LatencyBound:
+    def test_hp_message_always_within_two_slots(self):
+        """The paper's Eq. (4) slot component: the highest-priority
+        message waits at most 2 slots (1 missed + 1 arbitration)."""
+        for release_slot in (3, 7, 11):
+            src = _OneShot(4, 6, slot=release_slot)
+            sim, _ = build(sources=[src])
+            for _ in range(release_slot + 5):
+                sim.step()
+            assert src.message is not None
+            latency = src.message.completed_slot - src.message.created_slot
+            assert latency <= 2
+
+    def test_wall_clock_latency_within_equation_4(self):
+        src = _OneShot(4, 6, slot=5)
+        sim, timing = build(sources=[src])
+        # Track wall time at release and completion.
+        release_time = None
+        complete_time = None
+        for _ in range(20):
+            outcome = sim.step()
+            if src.message is not None and release_time is None:
+                release_time = sim.report.wall_time_s - timing.slot_length_s
+            if (
+                src.message is not None
+                and src.message.completed_slot is not None
+                and complete_time is None
+            ):
+                complete_time = sim.report.wall_time_s
+        assert complete_time - release_time <= timing.worst_case_latency_s + 1e-12
+
+
+class TestEquation6MeasuredUtilisation:
+    def test_measured_utilisation_never_below_umax_at_full_load(self):
+        """U_max is the *lowest* utilisation at full load: actual gaps
+        are at most the worst case, so measured utilisation >= U_max."""
+        conns = [
+            LogicalRealTimeConnection(
+                source=i,
+                destinations=frozenset([(i + 4) % 8]),
+                period_slots=8,
+                size_slots=2,
+            )
+            for i in range(8)
+        ]
+        sources = [ConnectionSource(c) for c in conns]
+        sim, timing = build(sources=sources)
+        report = sim.run(10_000)
+        assert report.utilisation >= timing.u_max - 1e-9
+
+    def test_adversarial_backwards_masters_approach_umax(self):
+        """A workload whose urgency rotates *upstream* forces (N-1)-hop
+        hand-overs every slot: utilisation approaches exactly U_max."""
+        n = 8
+
+        class UpstreamRotator(TrafficSource):
+            def __init__(self, node):
+                self.node = node
+
+            def messages_for_slot(self, slot):
+                # Node (n - slot) mod n is the only sender at each slot:
+                # consecutive masters are one hop *upstream* of each other.
+                if slot % n != (n - self.node) % n:
+                    return []
+                return [
+                    Message(
+                        source=self.node,
+                        destinations=frozenset([(self.node + 1) % n]),
+                        traffic_class=TrafficClass.BEST_EFFORT,
+                        size_slots=1,
+                        created_slot=slot,
+                        deadline_slot=slot + 2,
+                    )
+                ]
+
+        sim, timing = build(n=n, sources=[UpstreamRotator(i) for i in range(n)])
+        report = sim.run(5000)
+        # Mean gap should be close to the worst case (N-1 hops dominate).
+        worst = timing.max_handover_time_s
+        assert report.mean_gap_s > 0.5 * worst
+        assert report.utilisation < 1.0
+        assert report.utilisation >= timing.u_max - 1e-9
+
+
+class TestEquation2SlotFloor:
+    def test_slot_length_honours_collection_phase(self):
+        """With a tiny payload on a big ring the slot is stretched to the
+        Eq. (2) minimum so the collection phase always fits."""
+        topology = RingTopology.uniform(32, 200.0)
+        timing = NetworkTiming(
+            topology=topology, link=FibreRibbonLink(), slot_payload_bytes=16
+        )
+        assert timing.slot_length_s == timing.min_slot_length_s
+        assert timing.slot_length_s >= (
+            32 * timing.node_delay_s + topology.ring_propagation_delay_s
+        )

@@ -1,0 +1,111 @@
+"""Integration: user services coexisting with guaranteed traffic."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.api import MessageInjector
+from repro.services.barrier import BarrierCoordinator
+from repro.services.reduction import GlobalReduction
+from repro.services.reliable import PacketLossModel
+from repro.services.shortmsg import ShortMessageService
+from repro.sim.engine import Simulation
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(n=8, connections=(), loss_p=0.0, seed=0):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    injectors = {i: MessageInjector(i) for i in range(n)}
+    sources = list(injectors.values()) + [
+        ConnectionSource(c) for c in connections
+    ]
+    loss = PacketLossModel(loss_p, np.random.default_rng(seed)) if loss_p else None
+    sim = Simulation(
+        timing, CcrEdfProtocol(topology), sources=sources, loss_model=loss
+    )
+    return sim, injectors
+
+
+def rt_conns(n=8, period=8):
+    """A guaranteed load of 50% spread over half the nodes."""
+    return [
+        LogicalRealTimeConnection(
+            source=2 * i,
+            destinations=frozenset([(2 * i + 2) % n]),
+            period_slots=period,
+            size_slots=1,
+            phase_slots=i,
+        )
+        for i in range(n // 2)
+    ]
+
+
+class TestServicesUnderGuaranteedLoad:
+    def test_barrier_completes_and_rt_unharmed(self):
+        conns = rt_conns()
+        sim, injectors = build(connections=conns)
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        result = barrier.execute(range(8))
+        assert result.slots > 0
+        sim.run(1000)
+        rt = sim.report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_missed == 0
+
+    def test_reduction_correct_under_load(self):
+        conns = rt_conns()
+        sim, injectors = build(connections=conns)
+        service = GlobalReduction(sim, injectors)
+        result = service.execute({n: n for n in range(8)}, operator.add)
+        assert result.value == sum(range(8))
+        rt = sim.report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_missed == 0
+
+    def test_collectives_survive_packet_loss(self):
+        sim, injectors = build(loss_p=0.2, seed=5)
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        lossless_sim, lossless_inj = build()
+        clean = BarrierCoordinator(lossless_sim, lossless_inj, coordinator=0)
+        lossy_result = barrier.execute(range(8))
+        clean_result = clean.execute(range(8))
+        assert lossy_result.slots >= clean_result.slots
+        assert sim.packets_lost > 0
+
+    def test_short_messages_do_not_consume_data_slots(self):
+        """The control-channel short-message service moves payload while
+        the data channel stays idle."""
+        sim, _ = build()
+        shortmsg = ShortMessageService(capacity_bits=64)
+        delivered = []
+        for slot in range(20):
+            if slot % 3 == 0:
+                shortmsg.submit(source=0, destination=5, payload_bits=16, slot=slot)
+            sim.step()
+            delivered.extend(shortmsg.step(slot))
+        assert len(delivered) == 7
+        assert sim.report.packets_sent == 0  # data channel untouched
+
+    def test_mixed_class_traffic_end_to_end(self):
+        """RT + BE + NRT all flowing; strict isolation ordering holds."""
+        conns = rt_conns()
+        sim, injectors = build(connections=conns)
+        be_subs = [
+            injectors[1].submit([5], relative_deadline_slots=200)
+            for _ in range(10)
+        ]
+        nrt_subs = [
+            injectors[3].submit([7], traffic_class=TrafficClass.NON_REAL_TIME)
+            for _ in range(10)
+        ]
+        sim.run(2000)
+        report = sim.report
+        assert report.class_stats(TrafficClass.RT_CONNECTION).deadline_missed == 0
+        assert all(s.delivered for s in be_subs)
+        assert all(s.delivered for s in nrt_subs)

@@ -1,0 +1,90 @@
+"""Characterisation: best-effort starvation under saturated RT load.
+
+A structural property of the protocol worth documenting (EXPERIMENTS.md,
+delta 4): when admitted guaranteed traffic occupies *every* slot (slot-
+domain U = 1), the clock never leaves the RT senders, and a best-effort
+message whose path wraps most of the ring finds the clock break inside
+its path in every slot -- it starves indefinitely.  This is correct:
+the paper guarantees only logical real-time connections; best-effort
+explicitly rides "the spatially reused capacity" (Section 3), which a
+ring-wrapping path cannot use.
+
+These tests pin the phenomenon down and its two escape hatches: load
+below saturation, and shorter paths.
+"""
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.services.api import MessageInjector
+from repro.sim.runner import ScenarioConfig, build_simulation
+
+
+def saturating_rt(n):
+    """RT connections occupying every slot (slot-domain U = 1) with the
+    hp node rotating over the even nodes."""
+    return tuple(
+        LogicalRealTimeConnection(
+            source=2 * i,
+            destinations=frozenset([(2 * i + 2) % n]),
+            period_slots=4,
+            size_slots=1,
+            phase_slots=i,
+        )
+        for i in range(n // 2)
+    )
+
+
+@pytest.fixture
+def saturated_sim():
+    n = 8
+    injectors = {i: MessageInjector(i) for i in range(n)}
+    config = ScenarioConfig(n_nodes=n, connections=saturating_rt(n))
+    sim = build_simulation(config, extra_sources=list(injectors.values()))
+    return sim, injectors
+
+
+class TestStarvation:
+    def test_ring_wrapping_be_message_starves(self, saturated_sim):
+        sim, injectors = saturated_sim
+        # 1 -> 0 wraps 7 of 8 links; the rotating break (always at an
+        # even node under this workload) is always inside the path.
+        sub = injectors[1].submit([0], relative_deadline_slots=50)
+        sim.run(3000)
+        assert not sub.delivered, "the wrapping BE message must starve"
+
+    def test_short_path_be_message_gets_through(self, saturated_sim):
+        sim, injectors = saturated_sim
+        # 1 -> 2 is one link; it coexists with the RT grants via reuse.
+        sub = injectors[1].submit([2], relative_deadline_slots=50)
+        sim.run(200)
+        assert sub.delivered
+
+    def test_rt_guarantee_unaffected_by_the_starving_message(self, saturated_sim):
+        sim, injectors = saturated_sim
+        injectors[1].submit([0], relative_deadline_slots=50)
+        sim.run(3000)
+        rt = sim.report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.deadline_missed == 0
+
+    def test_sub_saturated_load_releases_the_message(self):
+        """With any slack (U < 1) the RT queues occasionally drain, the
+        BE message becomes hp, takes the clock, and goes through."""
+        n = 8
+        injectors = {i: MessageInjector(i) for i in range(n)}
+        conns = tuple(
+            LogicalRealTimeConnection(
+                source=2 * i,
+                destinations=frozenset([(2 * i + 2) % n]),
+                period_slots=5,  # U = 0.8 total
+                size_slots=1,
+                phase_slots=i,
+            )
+            for i in range(n // 2)
+        )
+        config = ScenarioConfig(n_nodes=n, connections=conns)
+        sim = build_simulation(config, extra_sources=list(injectors.values()))
+        sub = injectors[1].submit([0], relative_deadline_slots=200)
+        sim.run(2000)
+        assert sub.delivered

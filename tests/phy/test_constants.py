@@ -1,0 +1,41 @@
+"""Sanity tests for the physical constants."""
+
+import pytest
+
+from repro.phy import constants
+
+
+class TestPhysicalConstants:
+    def test_speed_of_light(self):
+        assert constants.SPEED_OF_LIGHT_M_PER_S == pytest.approx(2.998e8, rel=1e-3)
+
+    def test_propagation_delay_about_5ns_per_m(self):
+        # Group index 1.5 over silica fibre.
+        assert constants.FIBRE_PROPAGATION_DELAY_S_PER_M == pytest.approx(
+            5.0e-9, rel=0.01
+        )
+        assert constants.FIBRE_PROPAGATION_DELAY_S_PER_M == pytest.approx(
+            constants.FIBRE_GROUP_INDEX / constants.SPEED_OF_LIGHT_M_PER_S
+        )
+
+    def test_optobus_fibre_allocation(self):
+        # Ten fibres per direction: 8 data + 1 clock + 1 control (Fig. 1).
+        assert constants.OPTOBUS_FIBRES_PER_DIRECTION == 10
+        assert (
+            constants.OPTOBUS_DATA_FIBRES
+            + constants.OPTOBUS_CLOCK_FIBRES
+            + constants.OPTOBUS_CONTROL_FIBRES
+            == constants.OPTOBUS_FIBRES_PER_DIRECTION
+        )
+
+    def test_optobus_rate_is_2002_realistic(self):
+        # Ref. [10]: parallel optical links at a few Gbit/s aggregate.
+        aggregate = (
+            constants.OPTOBUS_BIT_RATE_PER_FIBRE * constants.OPTOBUS_DATA_FIBRES
+        )
+        assert 1e9 <= aggregate <= 10e9
+
+    def test_defaults_positive(self):
+        assert constants.DEFAULT_NODE_DELAY_S > 0
+        assert constants.DEFAULT_LINK_LENGTH_M > 0
+        assert constants.DEFAULT_SLOT_PAYLOAD_BYTES >= 1

@@ -1,0 +1,74 @@
+"""Tests for the fibre propagation model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.constants import FIBRE_PROPAGATION_DELAY_S_PER_M
+from repro.phy.fiber import FibreSegment, propagation_delay
+
+
+class TestPropagationDelay:
+    def test_zero_length_has_zero_delay(self):
+        assert propagation_delay(0.0) == 0.0
+
+    def test_default_delay_is_about_5ns_per_metre(self):
+        # Group index 1.5 -> ~5.0 ns/m.
+        assert propagation_delay(1.0) == pytest.approx(5.0e-9, rel=0.01)
+
+    def test_scales_linearly_with_length(self):
+        assert propagation_delay(20.0) == pytest.approx(2 * propagation_delay(10.0))
+
+    def test_custom_per_metre_delay(self):
+        assert propagation_delay(10.0, delay_s_per_m=1e-9) == pytest.approx(1e-8)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            propagation_delay(-1.0)
+
+    def test_negative_per_metre_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            propagation_delay(1.0, delay_s_per_m=-1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_delay_is_nonnegative_and_finite(self, length):
+        d = propagation_delay(length)
+        assert d >= 0.0
+        assert math.isfinite(d)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_delay_is_additive_over_concatenation(self, a, b):
+        total = propagation_delay(a + b)
+        parts = propagation_delay(a) + propagation_delay(b)
+        assert total == pytest.approx(parts, rel=1e-12, abs=1e-30)
+
+
+class TestFibreSegment:
+    def test_segment_delay_matches_function(self):
+        seg = FibreSegment(length_m=25.0)
+        assert seg.propagation_delay_s == pytest.approx(propagation_delay(25.0))
+
+    def test_default_per_metre_delay(self):
+        seg = FibreSegment(length_m=1.0)
+        assert seg.delay_s_per_m == FIBRE_PROPAGATION_DELAY_S_PER_M
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FibreSegment(length_m=-5.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FibreSegment(length_m=5.0, delay_s_per_m=-1.0)
+
+    def test_segments_are_immutable(self):
+        seg = FibreSegment(length_m=5.0)
+        with pytest.raises(AttributeError):
+            seg.length_m = 10.0
+
+    def test_equality_is_structural(self):
+        assert FibreSegment(5.0) == FibreSegment(5.0)
+        assert FibreSegment(5.0) != FibreSegment(6.0)

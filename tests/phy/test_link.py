@@ -1,0 +1,89 @@
+"""Tests for the fibre-ribbon link rate model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.link import FibreRibbonLink
+
+
+class TestLinkBasics:
+    def test_default_is_optobus_class(self):
+        link = FibreRibbonLink()
+        assert link.clock_rate_hz == 400e6
+        assert link.data_fibres == 8
+
+    def test_bit_time_is_clock_period(self):
+        link = FibreRibbonLink(clock_rate_hz=100e6)
+        assert link.bit_time_s == pytest.approx(10e-9)
+
+    def test_byte_time_equals_bit_time(self):
+        # One clock edge moves one byte on the data channel and one bit on
+        # the control channel (the same clock fibre strobes both).
+        link = FibreRibbonLink()
+        assert link.byte_time_s == link.bit_time_s
+
+    def test_aggregate_data_rate(self):
+        link = FibreRibbonLink(clock_rate_hz=400e6, data_fibres=8)
+        assert link.data_rate_bit_per_s == pytest.approx(3.2e9)
+
+    def test_invalid_clock_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FibreRibbonLink(clock_rate_hz=0)
+
+    def test_invalid_fibre_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FibreRibbonLink(data_fibres=0)
+
+
+class TestTransferTimes:
+    def test_one_byte_takes_one_clock(self):
+        link = FibreRibbonLink()
+        assert link.data_transfer_time_s(1) == pytest.approx(link.byte_time_s)
+
+    def test_kilobyte_transfer(self):
+        link = FibreRibbonLink(clock_rate_hz=400e6)
+        # 1024 bytes over an 8-bit-wide channel = 1024 clocks = 2.56 us.
+        assert link.data_transfer_time_s(1024) == pytest.approx(2.56e-6)
+
+    def test_control_bits_are_serial(self):
+        link = FibreRibbonLink(clock_rate_hz=400e6)
+        assert link.control_transfer_time_s(100) == pytest.approx(100 / 400e6)
+
+    def test_zero_bytes_zero_time(self):
+        link = FibreRibbonLink()
+        assert link.data_transfer_time_s(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FibreRibbonLink().data_transfer_time_s(-1)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FibreRibbonLink().control_transfer_time_s(-1)
+
+    def test_narrow_channel_rounds_up_to_words(self):
+        # 4-fibre channel: 3 bytes = 24 bits = 6 words.
+        link = FibreRibbonLink(clock_rate_hz=1e9, data_fibres=4)
+        assert link.data_transfer_time_s(3) == pytest.approx(6e-9)
+
+
+class TestSlotConversions:
+    def test_slot_duration_equals_payload_time(self):
+        link = FibreRibbonLink()
+        assert link.slot_duration_s(1024) == link.data_transfer_time_s(1024)
+
+    def test_capacity_inverts_duration(self):
+        link = FibreRibbonLink()
+        duration = link.slot_duration_s(1024)
+        assert link.slot_capacity_bytes(duration) == 1024
+
+    def test_capacity_of_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FibreRibbonLink().slot_capacity_bytes(-1.0)
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_capacity_duration_round_trip_never_loses_bytes(self, n_bytes):
+        link = FibreRibbonLink()
+        duration = link.slot_duration_s(n_bytes)
+        # The slot sized for n_bytes holds at least n_bytes.
+        assert link.slot_capacity_bytes(duration) >= n_bytes

@@ -1,0 +1,138 @@
+"""Fuzzing the control-packet parsers.
+
+The parsers sit at the trust boundary of the model (in real hardware,
+at the fibre): corrupted input must either parse into a *valid* packet
+(bit flips that land inside legal field values) or raise ``ValueError``
+-- never any other exception, and never a structurally invalid object.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.packets import (
+    CollectionPacket,
+    CollectionRequest,
+    DistributionPacket,
+    collection_packet_length_bits,
+    distribution_packet_length_bits,
+)
+
+
+@st.composite
+def corrupted_collection(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    master = draw(st.integers(min_value=0, max_value=n - 1))
+    reqs = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            reqs.append(CollectionRequest.empty())
+        else:
+            reqs.append(
+                CollectionRequest(
+                    priority=draw(st.integers(min_value=1, max_value=31)),
+                    links=draw(st.integers(min_value=0, max_value=(1 << n) - 1)),
+                    destinations=draw(
+                        st.integers(min_value=0, max_value=(1 << n) - 1)
+                    ),
+                )
+            )
+    pkt = CollectionPacket(n_nodes=n, master=master, requests=tuple(reqs))
+    bits = list(pkt.serialize())
+    # Flip up to 5 random bits.
+    n_flips = draw(st.integers(min_value=0, max_value=5))
+    for _ in range(n_flips):
+        i = draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        bits[i] ^= 1
+    return n, master, bits
+
+
+@st.composite
+def corrupted_distribution(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    master = draw(st.integers(min_value=0, max_value=n - 1))
+    pkt = DistributionPacket(
+        n_nodes=n,
+        master=master,
+        grants=tuple(draw(st.booleans()) for _ in range(n - 1)),
+        hp_node=draw(st.integers(min_value=0, max_value=n - 1)),
+    )
+    bits = list(pkt.serialize())
+    n_flips = draw(st.integers(min_value=0, max_value=5))
+    for _ in range(n_flips):
+        i = draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        bits[i] ^= 1
+    return n, master, bits
+
+
+class TestCollectionFuzz:
+    @given(corrupted_collection())
+    @settings(max_examples=200)
+    def test_parse_valid_or_value_error(self, case):
+        n, master, bits = case
+        try:
+            pkt = CollectionPacket.parse(bits, n, master)
+        except ValueError:
+            return
+        # Whatever parsed must be a self-consistent packet.
+        assert pkt.n_nodes == n
+        assert len(pkt.requests) == n
+        for req in pkt.requests:
+            req.validate(n)
+        assert len(pkt.serialize()) == collection_packet_length_bits(n)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_arbitrary_bitstrings_never_crash(self, n, bits):
+        try:
+            CollectionPacket.parse(bits, n, 0)
+        except ValueError:
+            pass
+
+    @given(corrupted_collection())
+    @settings(max_examples=100)
+    def test_truncation_always_rejected(self, case):
+        n, master, bits = case
+        truncated = bits[: len(bits) // 2]
+        try:
+            CollectionPacket.parse(truncated, n, master)
+        except ValueError:
+            return
+        raise AssertionError("truncated packet must not parse")
+
+
+class TestDistributionFuzz:
+    @given(corrupted_distribution())
+    @settings(max_examples=200)
+    def test_parse_valid_or_value_error(self, case):
+        n, master, bits = case
+        try:
+            pkt = DistributionPacket.parse(bits, n, master)
+        except ValueError:
+            return
+        assert 0 <= pkt.hp_node < n
+        assert len(pkt.grants) == n - 1
+        assert len(pkt.serialize()) == distribution_packet_length_bits(n)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_arbitrary_bitstrings_never_crash(self, n, bits):
+        try:
+            DistributionPacket.parse(bits, n, 0)
+        except ValueError:
+            pass
+
+    @given(corrupted_distribution())
+    @settings(max_examples=100)
+    def test_extension_misdeclaration_rejected(self, case):
+        """Declaring extension bits the packet does not carry fails."""
+        n, master, bits = case
+        try:
+            DistributionPacket.parse(bits, n, master, extension_bits=64)
+        except ValueError:
+            return
+        raise AssertionError("missing extension bits must not parse")

@@ -1,0 +1,289 @@
+"""Tests for the bit-exact control-packet formats (Figures 4 and 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.packets import (
+    BitReader,
+    BitWriter,
+    CollectionPacket,
+    CollectionRequest,
+    DistributionPacket,
+    MAX_PRIORITY,
+    NO_REQUEST_PRIORITY,
+    PRIORITY_FIELD_BITS,
+    collection_packet_length_bits,
+    distribution_packet_length_bits,
+    index_field_width,
+)
+
+
+class TestFieldWidths:
+    def test_priority_field_is_5_bits(self):
+        assert PRIORITY_FIELD_BITS == 5
+        assert MAX_PRIORITY == 31
+
+    @pytest.mark.parametrize(
+        "n,width",
+        [(2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5), (64, 6)],
+    )
+    def test_index_field_width_is_ceil_log2(self, n, width):
+        assert index_field_width(n) == width
+
+    def test_index_width_rejects_tiny_rings(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            index_field_width(1)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_collection_length_formula(self, n):
+        # Start bit + N requests of (5 + N + N) bits (Figure 4).
+        assert collection_packet_length_bits(n) == 1 + n * (5 + 2 * n)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_distribution_length_formula(self, n):
+        # Start bit + (N-1) grant bits + ceil(log2 N) index bits (Fig. 5).
+        assert distribution_packet_length_bits(n) == 1 + (n - 1) + index_field_width(n)
+
+    def test_distribution_length_with_extension(self):
+        assert (
+            distribution_packet_length_bits(8, extension_bits=32)
+            == distribution_packet_length_bits(8) + 32
+        )
+
+    def test_negative_extension_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            distribution_packet_length_bits(8, extension_bits=-1)
+
+
+class TestBitIO:
+    def test_uint_round_trip_msb_first(self):
+        w = BitWriter()
+        w.write_uint(0b10110, 5)
+        assert w.getvalue() == (1, 0, 1, 1, 0)
+        r = BitReader(w.getvalue())
+        assert r.read_uint(5) == 0b10110
+
+    def test_bitmask_round_trip_lsb_first(self):
+        w = BitWriter()
+        w.write_bitmask(0b0101, 4)
+        assert w.getvalue() == (1, 0, 1, 0)
+        r = BitReader(w.getvalue())
+        assert r.read_bitmask(4) == 0b0101
+
+    def test_value_too_large_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="does not fit"):
+            w.write_uint(32, 5)
+
+    def test_reader_exhaustion(self):
+        r = BitReader((1, 0))
+        r.read_bit()
+        r.read_bit()
+        with pytest.raises(ValueError, match="exhausted"):
+            r.read_bit()
+
+    def test_reader_rejects_non_bits(self):
+        with pytest.raises(ValueError, match="0/1"):
+            BitReader((0, 2, 1))
+
+    def test_writer_rejects_non_bits(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            BitWriter().write_bit(2)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_uint_round_trip_property(self, value):
+        w = BitWriter()
+        w.write_uint(value, 16)
+        assert BitReader(w.getvalue()).read_uint(16) == value
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_bitmask_round_trip_property(self, mask):
+        w = BitWriter()
+        w.write_bitmask(mask, 16)
+        assert BitReader(w.getvalue()).read_bitmask(16) == mask
+
+
+class TestCollectionRequest:
+    def test_empty_request(self):
+        req = CollectionRequest.empty()
+        assert req.is_empty
+        assert req.priority == NO_REQUEST_PRIORITY
+        assert req.links == 0 and req.destinations == 0
+
+    def test_empty_request_with_nonzero_fields_rejected(self):
+        req = CollectionRequest(priority=0, links=0b1, destinations=0)
+        with pytest.raises(ValueError, match="all-zero"):
+            req.validate(4)
+
+    def test_priority_out_of_field_rejected(self):
+        req = CollectionRequest(priority=32, links=0b1, destinations=0b10)
+        with pytest.raises(ValueError, match="priority"):
+            req.validate(4)
+
+    def test_masks_must_fit_ring(self):
+        req = CollectionRequest(priority=5, links=0b10000, destinations=0b1)
+        with pytest.raises(ValueError, match="link mask"):
+            req.validate(4)
+
+
+def _mk_packet(n, master, requests=None):
+    if requests is None:
+        requests = tuple(CollectionRequest.empty() for _ in range(n))
+    return CollectionPacket(n_nodes=n, master=master, requests=requests)
+
+
+class TestCollectionPacket:
+    def test_append_order_master_last(self):
+        pkt = _mk_packet(4, master=1)
+        # Downstream of master 1: nodes 2, 3, 0 at positions 0..2; the
+        # master itself at position 3.
+        assert pkt.node_of_position(0) == 2
+        assert pkt.node_of_position(1) == 3
+        assert pkt.node_of_position(2) == 0
+        assert pkt.node_of_position(3) == 1
+
+    def test_append_order_and_node_of_position_are_inverses(self):
+        pkt = _mk_packet(8, master=5)
+        for node in range(8):
+            assert pkt.node_of_position(pkt.append_order_of(node)) == node
+
+    def test_request_of_looks_up_by_node(self):
+        reqs = [CollectionRequest.empty() for _ in range(4)]
+        reqs[0] = CollectionRequest(priority=17, links=0b0100, destinations=0b1000)
+        pkt = _mk_packet(4, master=1, requests=tuple(reqs))
+        # Position 0 is node 2 (first downstream of master 1).
+        assert pkt.request_of(2).priority == 17
+
+    def test_wrong_request_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 4 requests"):
+            CollectionPacket(
+                n_nodes=4,
+                master=0,
+                requests=tuple(CollectionRequest.empty() for _ in range(3)),
+            )
+
+    def test_serialized_length_matches_formula(self):
+        for n in (2, 4, 8, 13):
+            pkt = _mk_packet(n, master=0)
+            assert len(pkt.serialize()) == collection_packet_length_bits(n)
+
+    def test_wire_round_trip(self):
+        reqs = (
+            CollectionRequest(priority=20, links=0b0011, destinations=0b0100),
+            CollectionRequest.empty(),
+            CollectionRequest(priority=3, links=0b1000, destinations=0b0001),
+            CollectionRequest(priority=20, links=0b0100, destinations=0b1000),
+        )
+        pkt = CollectionPacket(n_nodes=4, master=2, requests=reqs)
+        bits = pkt.serialize()
+        assert CollectionPacket.parse(bits, n_nodes=4, master=2) == pkt
+
+    def test_parse_rejects_missing_start_bit(self):
+        pkt = _mk_packet(4, master=0)
+        bits = list(pkt.serialize())
+        bits[0] = 0
+        with pytest.raises(ValueError, match="start bit"):
+            CollectionPacket.parse(bits, n_nodes=4, master=0)
+
+    def test_parse_rejects_trailing_bits(self):
+        pkt = _mk_packet(4, master=0)
+        bits = list(pkt.serialize()) + [0]
+        with pytest.raises(ValueError, match="trailing"):
+            CollectionPacket.parse(bits, n_nodes=4, master=0)
+
+
+@st.composite
+def collection_packets(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    master = draw(st.integers(min_value=0, max_value=n - 1))
+    requests = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            requests.append(CollectionRequest.empty())
+        else:
+            requests.append(
+                CollectionRequest(
+                    priority=draw(st.integers(min_value=1, max_value=31)),
+                    links=draw(st.integers(min_value=0, max_value=(1 << n) - 1)),
+                    destinations=draw(
+                        st.integers(min_value=0, max_value=(1 << n) - 1)
+                    ),
+                )
+            )
+    return CollectionPacket(n_nodes=n, master=master, requests=tuple(requests))
+
+
+class TestCollectionPacketProperties:
+    @given(collection_packets())
+    def test_wire_round_trip_property(self, pkt):
+        bits = pkt.serialize()
+        assert len(bits) == collection_packet_length_bits(pkt.n_nodes)
+        assert CollectionPacket.parse(bits, pkt.n_nodes, pkt.master) == pkt
+
+
+class TestDistributionPacket:
+    def test_grants_indexed_by_downstream_distance(self):
+        pkt = DistributionPacket(
+            n_nodes=4, master=1, grants=(True, False, True), hp_node=2
+        )
+        assert pkt.granted(2) is True   # distance 1
+        assert pkt.granted(3) is False  # distance 2
+        assert pkt.granted(0) is True   # distance 3
+
+    def test_master_grant_not_in_packet(self):
+        pkt = DistributionPacket(
+            n_nodes=4, master=1, grants=(False, False, False), hp_node=1
+        )
+        with pytest.raises(ValueError, match="master's own grant"):
+            pkt.granted(1)
+
+    def test_wire_round_trip(self):
+        pkt = DistributionPacket(
+            n_nodes=8,
+            master=3,
+            grants=(True, False, False, True, False, True, False),
+            hp_node=6,
+            extension_bits=12,
+        )
+        bits = pkt.serialize()
+        assert len(bits) == distribution_packet_length_bits(8, 12)
+        assert DistributionPacket.parse(bits, 8, 3, extension_bits=12) == pkt
+
+    def test_hp_index_out_of_range_rejected_on_parse(self):
+        # N=5 needs 3 index bits, which can encode 7 > 4.
+        pkt = DistributionPacket(
+            n_nodes=5, master=0, grants=(False,) * 4, hp_node=4
+        )
+        bits = list(pkt.serialize())
+        # Overwrite the 3 index bits with 0b111 = 7.
+        bits[-3:] = [1, 1, 1]
+        with pytest.raises(ValueError, match="out of range"):
+            DistributionPacket.parse(bits, 5, 0)
+
+    def test_wrong_grant_count_rejected(self):
+        with pytest.raises(ValueError, match="grant bits"):
+            DistributionPacket(n_nodes=4, master=0, grants=(True,), hp_node=0)
+
+    @given(
+        st.integers(min_value=2, max_value=16).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.integers(min_value=0, max_value=n - 1),
+                st.lists(st.booleans(), min_size=n - 1, max_size=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=64),
+            )
+        )
+    )
+    def test_wire_round_trip_property(self, args):
+        n, master, grants, hp, ext = args
+        pkt = DistributionPacket(
+            n_nodes=n,
+            master=master,
+            grants=tuple(grants),
+            hp_node=hp,
+            extension_bits=ext,
+        )
+        bits = pkt.serialize()
+        assert len(bits) == distribution_packet_length_bits(n, ext)
+        assert DistributionPacket.parse(bits, n, master, ext) == pkt

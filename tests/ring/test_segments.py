@@ -1,0 +1,141 @@
+"""Tests for segment (link-set) algebra and spatial-reuse overlap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ring.segments import (
+    is_contiguous_segment,
+    links_for_multicast,
+    links_for_unicast,
+    links_to_mask,
+    mask_to_links,
+    masks_overlap,
+)
+from repro.ring.topology import RingTopology
+
+
+@pytest.fixture
+def ring5():
+    return RingTopology.uniform(5)
+
+
+class TestUnicastLinks:
+    def test_adjacent_nodes_use_one_link(self, ring5):
+        assert links_for_unicast(ring5, 0, 1) == 0b00001
+
+    def test_wrap_around_path(self, ring5):
+        # 3 -> 1 uses links 3, 4, 0.
+        assert links_for_unicast(ring5, 3, 1) == 0b11001
+
+    def test_figure2_example(self):
+        # Figure 2: node 1 -> node 3 books links 1 and 2 (0-indexed:
+        # node 0 -> node 2 books links 0 and 1).
+        ring = RingTopology.uniform(5)
+        assert links_for_unicast(ring, 0, 2) == 0b00011
+
+    def test_self_send_rejected(self, ring5):
+        with pytest.raises(ValueError, match="same node"):
+            links_for_unicast(ring5, 2, 2)
+
+
+class TestMulticastLinks:
+    def test_multicast_covers_farthest_destination(self, ring5):
+        # 0 -> {1, 3}: farthest is 3, so links 0, 1, 2.
+        assert links_for_multicast(ring5, 0, [1, 3]) == 0b00111
+
+    def test_figure2_multicast_example(self):
+        # Figure 2: node 4 multicasts to nodes 5 and 1 (0-indexed: node 3
+        # to {4, 0}); farthest is node 0, so links 3 and 4.
+        ring = RingTopology.uniform(5)
+        assert links_for_multicast(ring, 3, [4, 0]) == 0b11000
+
+    def test_broadcast_uses_all_but_last_link(self, ring5):
+        # 0 -> everyone: farthest is 4 (upstream neighbour), links 0..3.
+        assert links_for_multicast(ring5, 0, [1, 2, 3, 4]) == 0b01111
+
+    def test_singleton_multicast_equals_unicast(self, ring5):
+        assert links_for_multicast(ring5, 1, [4]) == links_for_unicast(ring5, 1, 4)
+
+    def test_empty_destinations_rejected(self, ring5):
+        with pytest.raises(ValueError, match="at least one"):
+            links_for_multicast(ring5, 0, [])
+
+    def test_multicast_to_self_only_rejected(self, ring5):
+        with pytest.raises(ValueError, match="meaningless"):
+            links_for_multicast(ring5, 2, [2])
+
+
+class TestOverlap:
+    def test_disjoint_segments_do_not_overlap(self):
+        assert not masks_overlap(0b00011, 0b01100)
+
+    def test_shared_link_overlaps(self):
+        assert masks_overlap(0b00110, 0b00100)
+
+    def test_empty_mask_never_overlaps(self):
+        assert not masks_overlap(0, 0b11111)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            masks_overlap(-1, 0)
+
+    def test_figure2_transmissions_are_compatible(self):
+        # The two simultaneous transmissions of Figure 2 share no link.
+        ring = RingTopology.uniform(5)
+        a = links_for_unicast(ring, 0, 2)        # links 0, 1
+        b = links_for_multicast(ring, 3, [4, 0])  # links 3, 4
+        assert not masks_overlap(a, b)
+
+
+class TestMaskConversions:
+    def test_mask_to_links(self):
+        assert mask_to_links(0b10110) == (1, 2, 4)
+
+    def test_links_to_mask(self):
+        assert links_to_mask([1, 2, 4]) == 0b10110
+
+    def test_empty_round_trip(self):
+        assert mask_to_links(0) == ()
+        assert links_to_mask([]) == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_round_trip_property(self, mask):
+        assert links_to_mask(mask_to_links(mask)) == mask
+
+    def test_negative_link_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            links_to_mask([-1])
+
+
+class TestContiguity:
+    def test_empty_and_full_are_contiguous(self, ring5):
+        assert is_contiguous_segment(ring5, 0)
+        assert is_contiguous_segment(ring5, 0b11111)
+
+    def test_single_link_is_contiguous(self, ring5):
+        assert is_contiguous_segment(ring5, 0b00100)
+
+    def test_run_is_contiguous(self, ring5):
+        assert is_contiguous_segment(ring5, 0b01110)
+
+    def test_wrap_around_run_is_contiguous(self, ring5):
+        assert is_contiguous_segment(ring5, 0b10011)
+
+    def test_split_mask_is_not_contiguous(self, ring5):
+        assert not is_contiguous_segment(ring5, 0b01010)
+
+    def test_mask_too_wide_rejected(self, ring5):
+        with pytest.raises(ValueError, match="does not fit"):
+            is_contiguous_segment(ring5, 1 << 5)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_all_real_paths_are_contiguous(self, n, src, dst):
+        src, dst = src % n, dst % n
+        ring = RingTopology.uniform(n)
+        if src != dst:
+            mask = links_for_unicast(ring, src, dst)
+            assert is_contiguous_segment(ring, mask)

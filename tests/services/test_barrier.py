@@ -1,0 +1,104 @@
+"""Tests for the barrier synchronisation service."""
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.api import MessageInjector
+from repro.services.barrier import BarrierCoordinator
+from repro.sim.engine import Simulation
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(n=6, extra_sources=()):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    injectors = {i: MessageInjector(i) for i in range(n)}
+    sim = Simulation(
+        timing,
+        CcrEdfProtocol(topology),
+        sources=list(injectors.values()) + list(extra_sources),
+    )
+    return sim, injectors
+
+
+class TestBarrier:
+    def test_completes_on_idle_ring(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        result = barrier.execute(range(6))
+        assert result.n_participants == 6
+        assert result.slots > 0
+
+    def test_cost_scales_with_participants(self):
+        costs = {}
+        for k in (3, 6):
+            sim, injectors = build(n=6)
+            barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+            costs[k] = barrier.execute(range(k)).slots
+        assert costs[6] >= costs[3]
+
+    def test_subset_barrier(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=2)
+        result = barrier.execute([2, 4, 5])
+        assert result.n_participants == 3
+
+    def test_coordinator_must_participate(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        with pytest.raises(ValueError, match="among the participants"):
+            barrier.execute([1, 2, 3])
+
+    def test_needs_two_participants(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            barrier.execute([0])
+
+    def test_unknown_participant_rejected(self):
+        sim, injectors = build()
+        del injectors[3]
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        with pytest.raises(ValueError, match="no injector"):
+            barrier.execute([0, 3])
+
+    def test_unknown_coordinator_rejected(self):
+        sim, injectors = build()
+        with pytest.raises(ValueError, match="coordinator"):
+            BarrierCoordinator(sim, {0: injectors[0]}, coordinator=5)
+
+    def test_completes_under_background_load(self):
+        # A feasible periodic connection competes for slots; the barrier
+        # still completes, just slower.
+        conn = LogicalRealTimeConnection(
+            source=1, destinations=frozenset([4]), period_slots=3, size_slots=1
+        )
+        sim_loaded, injectors_loaded = build(
+            extra_sources=[ConnectionSource(conn)]
+        )
+        loaded = BarrierCoordinator(
+            sim_loaded, injectors_loaded, coordinator=0
+        ).execute(range(6))
+
+        sim_idle, injectors_idle = build()
+        idle = BarrierCoordinator(sim_idle, injectors_idle, coordinator=0).execute(
+            range(6)
+        )
+        assert loaded.slots >= idle.slots
+
+    def test_consecutive_barriers(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        first = barrier.execute(range(6))
+        second = barrier.execute(range(6))
+        assert second.start_slot >= first.end_slot
+
+    def test_timeout_raises(self):
+        sim, injectors = build()
+        barrier = BarrierCoordinator(sim, injectors, coordinator=0)
+        with pytest.raises(TimeoutError):
+            barrier.execute(range(6), max_slots=1)

@@ -1,0 +1,86 @@
+"""Tests for the global-reduction service."""
+
+import operator
+
+import pytest
+
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.api import MessageInjector
+from repro.services.reduction import GlobalReduction
+from repro.sim.engine import Simulation
+
+
+def build(n=6):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    injectors = {i: MessageInjector(i) for i in range(n)}
+    sim = Simulation(
+        timing, CcrEdfProtocol(topology), sources=list(injectors.values())
+    )
+    return sim, injectors
+
+
+class TestReduction:
+    def test_sum_reduction_value_correct(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        result = service.execute({n: n + 1 for n in range(6)}, operator.add)
+        assert result.value == sum(range(1, 7))
+
+    def test_max_reduction(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        contributions = {0: 3, 2: 42, 5: 7}
+        result = service.execute(contributions, max)
+        assert result.value == 42
+
+    def test_non_commutative_operator_applied_in_ring_order(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        contributions = {0: "a", 1: "b", 3: "c"}
+        result = service.execute(contributions, operator.add)
+        assert result.value == "abc"
+
+    def test_cost_scales_with_participants(self):
+        costs = {}
+        for nodes in ([0, 1], [0, 1, 2, 3, 4, 5]):
+            sim, injectors = build()
+            service = GlobalReduction(sim, injectors)
+            costs[len(nodes)] = service.execute(
+                {n: 1 for n in nodes}, operator.add
+            ).slots
+        assert costs[6] > costs[2]
+
+    def test_needs_two_participants(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        with pytest.raises(ValueError, match="at least 2"):
+            service.execute({0: 1}, operator.add)
+
+    def test_unknown_participant_rejected(self):
+        sim, injectors = build()
+        del injectors[2]
+        service = GlobalReduction(sim, injectors)
+        with pytest.raises(ValueError, match="no injector"):
+            service.execute({0: 1, 2: 2}, operator.add)
+
+    def test_timeout_raises(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        with pytest.raises(TimeoutError):
+            service.execute({n: 1 for n in range(6)}, operator.add, max_slots=1)
+
+    def test_result_records_slots(self):
+        sim, injectors = build()
+        service = GlobalReduction(sim, injectors)
+        result = service.execute({0: 1, 3: 2}, operator.add)
+        assert result.slots == result.end_slot - result.start_slot
+        assert result.n_participants == 2
+
+    def test_invalid_deadline_rejected(self):
+        sim, injectors = build()
+        with pytest.raises(ValueError, match="deadline"):
+            GlobalReduction(sim, injectors, deadline_slots=0)

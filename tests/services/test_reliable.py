@@ -1,0 +1,106 @@
+"""Tests for the reliable-transmission service (loss + retransmission)."""
+
+import numpy as np
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.reliable import PacketLossModel, ReliableStats
+from repro.sim.engine import Simulation
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(loss_p, seed=0, n=4, period=4):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    conn = LogicalRealTimeConnection(
+        source=0, destinations=frozenset([2]), period_slots=period, size_slots=1
+    )
+    loss = (
+        PacketLossModel(loss_p, np.random.default_rng(seed)) if loss_p else None
+    )
+    return Simulation(
+        timing,
+        CcrEdfProtocol(topology),
+        sources=[ConnectionSource(conn)],
+        loss_model=loss,
+    )
+
+
+class TestPacketLossModel:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            PacketLossModel(1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="probability"):
+            PacketLossModel(-0.1, np.random.default_rng(0))
+
+    def test_zero_loss_never_loses(self):
+        model = PacketLossModel(0.0, np.random.default_rng(0))
+        assert not any(model.lost(None, s) for s in range(1000))
+
+    def test_loss_rate_statistical(self):
+        model = PacketLossModel(0.3, np.random.default_rng(1))
+        losses = sum(model.lost(None, s) for s in range(20_000))
+        assert losses / 20_000 == pytest.approx(0.3, rel=0.1)
+
+
+class TestLossInSimulation:
+    def test_lossless_run_has_no_retransmissions(self):
+        sim = build(loss_p=0.0)
+        sim.run(1000)
+        assert sim.packets_lost == 0
+
+    def test_all_messages_eventually_delivered_despite_loss(self):
+        sim = build(loss_p=0.2, period=8)
+        report = sim.run(4000)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.released == 500
+        # Retransmissions delay but (with slack 8x demand) never starve.
+        assert rt.delivered >= 495
+
+    def test_loss_counter_matches_rate(self):
+        sim = build(loss_p=0.25, period=2)
+        sim.run(8000)
+        stats = ReliableStats.from_simulation(sim)
+        assert stats.goodput_fraction == pytest.approx(0.75, rel=0.08)
+
+    def test_retransmission_overhead(self):
+        sim = build(loss_p=0.2, period=4)
+        sim.run(8000)
+        stats = ReliableStats.from_simulation(sim)
+        # Expected overhead p/(1-p) = 0.25 extra sends per delivery.
+        assert stats.retransmission_overhead == pytest.approx(0.25, rel=0.2)
+
+    def test_latency_inflated_by_loss(self):
+        lossless = build(loss_p=0.0, period=8)
+        lossy = build(loss_p=0.4, seed=3, period=8)
+        clean = lossless.run(4000).class_stats(TrafficClass.RT_CONNECTION)
+        dirty = lossy.run(4000).class_stats(TrafficClass.RT_CONNECTION)
+        assert dirty.mean_latency_slots > clean.mean_latency_slots
+
+    def test_deterministic_under_seed(self):
+        a = build(loss_p=0.3, seed=9)
+        b = build(loss_p=0.3, seed=9)
+        a.run(2000)
+        b.run(2000)
+        assert a.packets_lost == b.packets_lost
+        assert a.report.packets_sent == b.report.packets_sent
+
+
+class TestReliableStats:
+    def test_empty_stats_nan(self):
+        import math
+
+        stats = ReliableStats(packets_delivered=0, packets_lost=0)
+        assert math.isnan(stats.retransmission_overhead)
+        assert math.isnan(stats.goodput_fraction)
+
+    def test_arithmetic(self):
+        stats = ReliableStats(packets_delivered=80, packets_lost=20)
+        assert stats.packets_transmitted == 100
+        assert stats.goodput_fraction == pytest.approx(0.8)
+        assert stats.retransmission_overhead == pytest.approx(0.25)

@@ -1,0 +1,87 @@
+"""Tests for the control-channel short-message service."""
+
+import pytest
+
+from repro.services.shortmsg import ShortMessage, ShortMessageService
+
+
+class TestShortMessage:
+    def test_latency(self):
+        msg = ShortMessage(source=0, destination=1, payload_bits=8, submitted_slot=5)
+        assert msg.latency_slots is None
+        msg.delivered_slot = 7
+        assert msg.latency_slots == 3
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError, match="at least 1 bit"):
+            ShortMessage(source=0, destination=1, payload_bits=0, submitted_slot=0)
+
+    def test_ids_unique(self):
+        a = ShortMessage(0, 1, 8, 0)
+        b = ShortMessage(0, 1, 8, 0)
+        assert a.msg_id != b.msg_id
+
+
+class TestShortMessageService:
+    def test_small_message_delivered_same_slot(self):
+        svc = ShortMessageService(capacity_bits=64, header_bits=16)
+        msg = svc.submit(source=0, destination=3, payload_bits=8, slot=0)
+        completed = svc.step(slot=0)
+        assert completed == [msg]
+        assert msg.latency_slots == 1
+
+    def test_capacity_shared_fifo(self):
+        svc = ShortMessageService(capacity_bits=64, header_bits=16)
+        # Each message needs 16 + 16 = 32 bits: two fit per slot.
+        msgs = [svc.submit(0, 1, 16, slot=0) for _ in range(5)]
+        assert svc.step(0) == msgs[:2]
+        assert svc.step(1) == msgs[2:4]
+        assert svc.step(2) == msgs[4:]
+
+    def test_large_message_fragments_across_slots(self):
+        svc = ShortMessageService(capacity_bits=64, header_bits=16)
+        big = svc.submit(0, 1, payload_bits=200, slot=0)  # 216 bits total
+        assert svc.step(0) == []
+        assert svc.step(1) == []
+        assert svc.step(2) == []
+        assert svc.step(3) == [big]  # 4 * 64 = 256 >= 216
+        assert big.latency_slots == 4
+
+    def test_fragmentation_does_not_starve_followers(self):
+        svc = ShortMessageService(capacity_bits=64, header_bits=16)
+        big = svc.submit(0, 1, payload_bits=100, slot=0)  # 116 bits
+        small = svc.submit(0, 2, payload_bits=8, slot=0)  # 24 bits
+        assert svc.step(0) == []      # 64 of 116 sent
+        assert svc.step(1) == [big]   # big finishes (52); small gets 12/24
+        assert svc.step(2) == [small]
+
+    def test_backlog(self):
+        svc = ShortMessageService(capacity_bits=32, header_bits=8)
+        svc.submit(0, 1, 100, slot=0)
+        svc.submit(0, 2, 8, slot=0)
+        assert svc.backlog == 2
+        svc.step(0)
+        assert svc.backlog == 2  # first still partially sent
+        svc.step(1)
+        svc.step(2)
+        svc.step(3)
+        assert svc.backlog == 0
+
+    def test_extension_bits_reported(self):
+        assert ShortMessageService(capacity_bits=48).extension_bits == 48
+
+    def test_header_must_fit_capacity(self):
+        with pytest.raises(ValueError, match="cannot even fit"):
+            ShortMessageService(capacity_bits=8, header_bits=16)
+
+    def test_delivered_log(self):
+        svc = ShortMessageService(capacity_bits=64)
+        m = svc.submit(0, 1, 8, slot=2)
+        svc.step(2)
+        assert svc.delivered == [m]
+
+    def test_idle_slots_cost_nothing(self):
+        svc = ShortMessageService(capacity_bits=64)
+        assert svc.step(0) == []
+        m = svc.submit(0, 1, 8, slot=5)
+        assert svc.step(5) == [m]

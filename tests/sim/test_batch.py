@@ -1,0 +1,111 @@
+"""Tests for the multi-seed replication runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.batch import MetricSummary, replicate
+from repro.sim.engine import Simulation
+from repro.traffic.poisson import PoissonSource
+
+
+def build_factory(rate=0.1):
+    def build(rng: np.random.Generator) -> Simulation:
+        topology = RingTopology.uniform(8, 10.0)
+        timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+        sources = [
+            PoissonSource(
+                node=i,
+                n_nodes=8,
+                rate_per_slot=rate,
+                traffic_class=TrafficClass.BEST_EFFORT,
+                rng=rng,
+                relative_deadline_slots=100,
+            )
+            for i in range(8)
+        ]
+        return Simulation(timing, CcrEdfProtocol(topology), sources=sources)
+
+    return build
+
+
+METRICS = {
+    "throughput": lambda r: r.throughput_packets_per_slot,
+    "be_miss": lambda r: r.class_stats(TrafficClass.BEST_EFFORT).deadline_miss_ratio,
+}
+
+
+class TestMetricSummary:
+    def test_single_value(self):
+        s = MetricSummary("x", (3.0,))
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.sem == 0.0
+        assert s.confidence_interval() == (3.0, 3.0)
+
+    def test_statistics(self):
+        s = MetricSummary("x", (1.0, 2.0, 3.0, 4.0))
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        lo, hi = s.confidence_interval()
+        assert lo < s.mean < hi
+        assert s.min == 1.0 and s.max == 4.0
+
+
+class TestReplicate:
+    def test_basic_run(self):
+        result = replicate(
+            build_factory(), n_slots=500, metrics=METRICS, n_replications=4
+        )
+        assert len(result.reports) == 4
+        assert result["throughput"].n == 4
+        # Poisson at 0.1/node over 8 nodes: ~0.8 packets/slot offered.
+        assert result["throughput"].mean == pytest.approx(0.8, rel=0.2)
+
+    def test_replications_are_independent(self):
+        result = replicate(
+            build_factory(), n_slots=500, metrics=METRICS, n_replications=5
+        )
+        # Different seeds -> different realisations.
+        assert len(set(result["throughput"].values)) > 1
+
+    def test_reproducible_from_master_seed(self):
+        a = replicate(
+            build_factory(), 300, METRICS, n_replications=3, master_seed=7
+        )
+        b = replicate(
+            build_factory(), 300, METRICS, n_replications=3, master_seed=7
+        )
+        assert a["throughput"].values == b["throughput"].values
+
+    def test_different_master_seeds_differ(self):
+        a = replicate(
+            build_factory(), 300, METRICS, n_replications=3, master_seed=1
+        )
+        b = replicate(
+            build_factory(), 300, METRICS, n_replications=3, master_seed=2
+        )
+        assert a["throughput"].values != b["throughput"].values
+
+    def test_ci_shrinks_with_replications(self):
+        small = replicate(
+            build_factory(), 300, METRICS, n_replications=3, master_seed=0
+        )
+        large = replicate(
+            build_factory(), 300, METRICS, n_replications=12, master_seed=0
+        )
+        lo_s, hi_s = small["throughput"].confidence_interval()
+        lo_l, hi_l = large["throughput"].confidence_interval()
+        assert (hi_l - lo_l) < (hi_s - lo_s) * 1.5  # statistically typical
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replication"):
+            replicate(build_factory(), 100, METRICS, n_replications=0)
+        with pytest.raises(ValueError, match="no metrics"):
+            replicate(build_factory(), 100, {}, n_replications=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            replicate(build_factory(), -1, METRICS)

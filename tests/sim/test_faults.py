@@ -1,0 +1,173 @@
+"""Tests for fault injection and the timeout/designated-node recovery."""
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultInjector
+from repro.traffic.periodic import ConnectionSource
+
+
+def build(n=4, sources=(), faults=None):
+    topology = RingTopology.uniform(n, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    return Simulation(
+        timing, CcrEdfProtocol(topology), sources=sources, faults=faults
+    )
+
+
+def conn(source=0, dst=2, period=10, size=1, phase=0):
+    return LogicalRealTimeConnection(
+        source=source,
+        destinations=frozenset([dst]),
+        period_slots=period,
+        size_slots=size,
+        phase_slots=phase,
+    )
+
+
+class TestFaultInjector:
+    def test_alive_before_failure_slot(self):
+        inj = FaultInjector(node_failures={2: 100})
+        assert inj.is_alive(2, 99)
+        assert not inj.is_alive(2, 100)
+        assert inj.is_alive(1, 10**6)
+
+    def test_control_loss_slots(self):
+        inj = FaultInjector(control_loss_slots=frozenset({5, 9}))
+        assert inj.control_lost(5)
+        assert not inj.control_lost(6)
+
+    def test_designated_node_is_lowest_alive(self):
+        inj = FaultInjector(node_failures={0: 10, 1: 20})
+        assert inj.designated_node(5, 4) == 0
+        assert inj.designated_node(15, 4) == 1
+        assert inj.designated_node(25, 4) == 2
+
+    def test_all_dead_raises(self):
+        inj = FaultInjector(node_failures={n: 0 for n in range(4)})
+        with pytest.raises(RuntimeError, match="all nodes"):
+            inj.designated_node(0, 4)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FaultInjector(recovery_timeout_s=0.0)
+
+    def test_invalid_failure_slot_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultInjector(node_failures={0: -1})
+
+
+class TestNodeFailure:
+    def test_dead_node_stops_releasing(self):
+        faults = FaultInjector(node_failures={0: 50})
+        sim = build(sources=[ConnectionSource(conn(source=0, period=10))], faults=faults)
+        report = sim.run(200)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        # Releases at slots 0, 10, ..., 40 only.
+        assert rt.released == 5
+
+    def test_ring_survives_node_failure(self):
+        # Node 1 dies; a connection 2 -> 0 (passing through nobody dead,
+        # but its traffic pattern keeps the ring alive).
+        faults = FaultInjector(node_failures={1: 30})
+        sim = build(
+            sources=[ConnectionSource(conn(source=2, dst=0, period=5))],
+            faults=faults,
+        )
+        report = sim.run(500)
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.delivered >= 98
+        assert rt.deadline_missed == 0
+
+    def test_dead_master_recovered_by_designated_node(self):
+        # Node 3 sends periodically, becoming master; it dies mid-run.
+        faults = FaultInjector(node_failures={3: 50}, recovery_timeout_s=1e-6)
+        sim = build(
+            sources=[
+                ConnectionSource(conn(source=3, dst=1, period=4, phase=0)),
+                ConnectionSource(conn(source=0, dst=2, period=50, phase=25)),
+            ],
+            faults=faults,
+        )
+        report = sim.run(300)
+        # The run completes and node 0's traffic still flows after slot 50.
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.delivered > 0
+        # Node 0 (the designated node) picked up mastership.
+        assert report.master_slots[0] > 0
+
+    def test_recovery_timeout_added_to_gap(self):
+        faults = FaultInjector(node_failures={3: 10}, recovery_timeout_s=5e-6)
+        sim = build(
+            sources=[ConnectionSource(conn(source=3, dst=1, period=4))],
+            faults=faults,
+        )
+        report = sim.run(50)
+        # The recovery gap (5 us) dwarfs normal gaps (< 0.4 us): visible
+        # in the accumulated gap time.
+        assert report.gap_time_s >= 5e-6
+
+
+class TestControlLoss:
+    def test_lost_distribution_voids_next_slot(self):
+        # Control packet of slot 5's arbitration is lost: slot 6 carries
+        # nothing and its master is the designated node.
+        faults = FaultInjector(
+            control_loss_slots=frozenset({5}), recovery_timeout_s=1e-6
+        )
+        sim = build(
+            sources=[ConnectionSource(conn(source=2, dst=0, period=1))],
+            faults=faults,
+        )
+        outcomes = [sim.step() for _ in range(10)]
+        assert outcomes[6].transmitted == ()
+        assert outcomes[6].master == 0  # designated node
+        # Operation resumes immediately afterwards.
+        assert outcomes[7].transmitted != ()
+
+    def test_loss_costs_one_slot_of_throughput(self):
+        faults = FaultInjector(
+            control_loss_slots=frozenset({10, 20, 30}), recovery_timeout_s=1e-6
+        )
+        sim_faulty = build(
+            sources=[ConnectionSource(conn(source=2, dst=0, period=1))],
+            faults=faults,
+        )
+        clean = build(sources=[ConnectionSource(conn(source=2, dst=0, period=1))])
+        faulty_report = sim_faulty.run(100)
+        clean_report = clean.run(100)
+        assert (
+            clean_report.packets_sent - faulty_report.packets_sent == 3
+        )
+
+
+class TestTotalFailure:
+    def test_all_nodes_dead_surfaces_clearly(self):
+        """When the last node dies there is no designated node left; the
+        engine surfaces that as a RuntimeError instead of looping."""
+        faults = FaultInjector(node_failures={n: 10 for n in range(4)})
+        sim = build(
+            sources=[ConnectionSource(conn(source=2, dst=0, period=5))],
+            faults=faults,
+        )
+        with pytest.raises(RuntimeError, match="all nodes"):
+            sim.run(100)
+
+    def test_last_survivor_keeps_the_network_up(self):
+        faults = FaultInjector(node_failures={1: 10, 2: 10, 3: 10})
+        sim = build(
+            sources=[ConnectionSource(conn(source=0, dst=2, period=5))],
+            faults=faults,
+        )
+        report = sim.run(200)
+        # Node 0 survives and keeps releasing; its destination is dead
+        # but pass-through delivery still completes (passive bypass).
+        rt = report.class_stats(TrafficClass.RT_CONNECTION)
+        assert rt.released == 40
+        assert report.master_slots[0] > 0

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.nodes == 8
+        assert args.link_length == 10.0
+        assert args.payload == 1024
+
+    def test_simulate_protocol_choices(self):
+        args = build_parser().parse_args(["simulate", "--protocol", "ccfpr"])
+        assert args.protocol == "ccfpr"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "aloha"])
+
+    def test_compare_workload_args(self):
+        args = build_parser().parse_args(
+            ["compare", "--utilisation", "0.5", "--seed", "3", "--drop-late"]
+        )
+        assert args.utilisation == 0.5
+        assert args.seed == 3
+        assert args.drop_late is True
+
+
+class TestCommands:
+    def test_info_prints_model(self, capsys):
+        assert main(["info", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "U_max" in out
+        assert "Eq. 2" in out
+
+    def test_info_reflects_parameters(self, capsys):
+        main(["info", "--nodes", "4", "--link-length", "10"])
+        short = capsys.readouterr().out
+        main(["info", "--nodes", "4", "--link-length", "1000"])
+        long = capsys.readouterr().out
+
+        def umax(text):
+            for line in text.splitlines():
+                if "U_max" in line:
+                    return float(line.split(":")[1])
+            raise AssertionError("no U_max line")
+
+        assert umax(long) < umax(short)
+
+    def test_simulate_runs(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--nodes", "6",
+                "--utilisation", "0.5",
+                "--slots", "2000",
+                "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RT released" in out
+        assert "ratio 0.0000" in out  # feasible load: no misses
+
+    def test_simulate_deterministic(self, capsys):
+        argv = ["simulate", "--slots", "1000", "--seed", "5"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_compare_lists_all_protocols(self, capsys):
+        rc = main(
+            ["compare", "--slots", "1000", "--utilisation", "0.4", "--seed", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for proto in ("ccr-edf", "upper-edf", "ccfpr", "tdma"):
+            assert proto in out
+
+    def test_analysis_mode_flag(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--slots", "1000",
+                "--no-spatial-reuse",
+                "--utilisation", "0.3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Analysis mode: at most one packet per slot -> reuse factor 1.
+        assert "reuse factor      : 1.00" in out
+
+
+class TestAnalyze:
+    def test_specs_admitted_and_bounded(self, capsys):
+        rc = main(
+            ["analyze", "--nodes", "8", "--spec", "10:2", "--spec", "25:5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "U_max" in out
+        assert out.count("yes") == 2
+        assert "headroom" in out
+
+    def test_overload_rejected_in_output(self, capsys):
+        main(["analyze", "--spec", "2:1", "--spec", "2:1", "--spec", "2:1"])
+        out = capsys.readouterr().out
+        assert "NO" in out
+
+    def test_bad_spec_format(self, capsys):
+        rc = main(["analyze", "--spec", "banana"])
+        assert rc == 2
+        assert "bad --spec" in capsys.readouterr().out
+
+    def test_spec_required(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_wcrt_within_window_for_admitted(self, capsys):
+        main(["analyze", "--spec", "12:3", "--spec", "6:1"])
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 5 and parts[2] == "yes":
+                wcrt, window = int(parts[3]), int(parts[4])
+                assert wcrt <= window

@@ -1,0 +1,41 @@
+"""The README's quickstart snippet must run exactly as printed.
+
+Extracts the first python code block from README.md and executes it;
+documentation that drifts from the API fails the suite.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_readme_quickstart_executes():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README must contain a python quickstart block"
+    snippet = blocks[0]
+    # The snippet ends in asserts of its own; execution is the test.
+    exec(compile(snippet, str(README), "exec"), {})
+
+
+def test_readme_cli_lines_are_valid():
+    """Every `python -m repro ...` line in the README parses."""
+    from repro.cli import build_parser
+
+    text = README.read_text()
+    lines = re.findall(r"python -m repro ([^\n#]+)", text)
+    assert lines, "README must show CLI usage"
+    parser = build_parser()
+    for line in lines:
+        argv = line.split()
+        # analyze requires --spec; all shown lines must at least parse.
+        parser.parse_args(argv)
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    for example in (Path(__file__).resolve().parent.parent / "examples").glob(
+        "*.py"
+    ):
+        assert example.name in text, f"README must mention {example.name}"

@@ -1,0 +1,104 @@
+"""Tests for the CSV result exporter."""
+
+import csv
+import math
+
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.report import (
+    REPORT_FIELDS,
+    report_row,
+    write_connection_csv,
+    write_report_csv,
+)
+from repro.sim.runner import ScenarioConfig, run_scenario
+
+
+@pytest.fixture
+def sample_report():
+    conn = LogicalRealTimeConnection(
+        source=0, destinations=frozenset([3]), period_slots=10, size_slots=2
+    )
+    config = ScenarioConfig(n_nodes=8, connections=(conn,))
+    return run_scenario(config, n_slots=500), conn
+
+
+class TestReportRow:
+    def test_covers_all_fields(self, sample_report):
+        report, _ = sample_report
+        row = report_row(report)
+        assert set(row.keys()) == set(REPORT_FIELDS)
+
+    def test_values_consistent(self, sample_report):
+        report, _ = sample_report
+        row = report_row(report)
+        assert row["slots_simulated"] == 500
+        assert row["rt_released"] == 50
+        assert row["rt_missed"] == 0
+        assert row["n_nodes"] == 8
+
+
+class TestWriteReportCsv:
+    def test_round_trip(self, tmp_path, sample_report):
+        report, _ = sample_report
+        path = write_report_csv(tmp_path / "out.csv", [report, report])
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert int(rows[0]["rt_released"]) == 50
+        assert float(rows[0]["utilisation"]) == pytest.approx(
+            report.utilisation
+        )
+
+    def test_with_parameters(self, tmp_path, sample_report):
+        report, _ = sample_report
+        params = [{"protocol": "ccr-edf", "target_u": 0.2}]
+        path = write_report_csv(tmp_path / "sweep.csv", [report], params)
+        with path.open() as fh:
+            reader = csv.DictReader(fh)
+            assert reader.fieldnames[:2] == ["protocol", "target_u"]
+            (row,) = list(reader)
+        assert row["protocol"] == "ccr-edf"
+
+    def test_parameter_count_mismatch_rejected(self, tmp_path, sample_report):
+        report, _ = sample_report
+        with pytest.raises(ValueError, match="parameter rows"):
+            write_report_csv(tmp_path / "x.csv", [report], [{}, {}])
+
+    def test_inconsistent_parameter_keys_rejected(self, tmp_path, sample_report):
+        report, _ = sample_report
+        with pytest.raises(ValueError, match="same keys"):
+            write_report_csv(
+                tmp_path / "x.csv",
+                [report, report],
+                [{"a": 1}, {"b": 2}],
+            )
+
+    def test_shadowing_parameter_keys_rejected(self, tmp_path, sample_report):
+        report, _ = sample_report
+        with pytest.raises(ValueError, match="shadow"):
+            write_report_csv(
+                tmp_path / "x.csv", [report], [{"utilisation": 1}]
+            )
+
+
+class TestWriteConnectionCsv:
+    def test_per_connection_rows(self, tmp_path, sample_report):
+        report, conn = sample_report
+        path = write_connection_csv(tmp_path / "conns.csv", report)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        row = rows[0]
+        assert int(row["connection_id"]) == conn.connection_id
+        assert int(row["released"]) == 50
+        assert float(row["miss_ratio"]) == 0.0
+        assert not math.isnan(float(row["mean_latency_slots"]))
+
+    def test_empty_report(self, tmp_path):
+        config = ScenarioConfig(n_nodes=4)
+        report = run_scenario(config, n_slots=10)
+        path = write_connection_csv(tmp_path / "empty.csv", report)
+        with path.open() as fh:
+            assert list(csv.DictReader(fh)) == []

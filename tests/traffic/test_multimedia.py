@@ -1,0 +1,79 @@
+"""Tests for the multimedia workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.multimedia import multimedia_connections
+
+SLOT_S = 2.56e-6
+SLOT_BYTES = 1024
+
+
+class TestMultimedia:
+    def make(self, n_video=3, n_audio=5, seed=0, **kw):
+        return multimedia_connections(
+            np.random.default_rng(seed),
+            n_nodes=8,
+            n_video=n_video,
+            n_audio=n_audio,
+            slot_time_s=SLOT_S,
+            slot_payload_bytes=SLOT_BYTES,
+            **kw,
+        )
+
+    def test_stream_counts(self):
+        conns = self.make(n_video=3, n_audio=5)
+        assert len(conns) == 8
+
+    def test_video_period_matches_frame_rate(self):
+        conns = self.make(n_video=1, n_audio=0, video_fps=25.0)
+        (video,) = conns
+        # 40 ms frame period over 2.56 us slots = 15625 slots.
+        assert video.period_slots == round(0.04 / SLOT_S)
+
+    def test_video_frame_size_in_slots(self):
+        conns = self.make(n_video=1, n_audio=0, video_frame_bytes=64 * 1024)
+        (video,) = conns
+        assert video.size_slots == 64  # 64 KiB / 1 KiB slots
+
+    def test_audio_period_and_size(self):
+        conns = self.make(n_video=0, n_audio=1)
+        (audio,) = conns
+        assert audio.period_slots == round(0.02 / SLOT_S)
+        assert audio.size_slots == 1  # 320 B < one slot
+
+    def test_multicast_video(self):
+        conns = self.make(n_video=10, n_audio=0, video_multicast_probability=1.0)
+        assert all(len(c.destinations) >= 2 for c in conns)
+
+    def test_unicast_audio(self):
+        conns = self.make(n_video=0, n_audio=10)
+        assert all(len(c.destinations) == 1 for c in conns)
+
+    def test_endpoints_valid(self):
+        for c in self.make(n_video=5, n_audio=5, seed=3):
+            assert 0 <= c.source < 8
+            assert c.source not in c.destinations
+
+    def test_deterministic_under_seed(self):
+        a = self.make(seed=11)
+        b = self.make(seed=11)
+        assert [(c.source, c.destinations, c.period_slots) for c in a] == [
+            (c.source, c.destinations, c.period_slots) for c in b
+        ]
+
+    def test_infeasible_video_rate_rejected(self):
+        # Frame larger than a frame period's worth of slots.
+        with pytest.raises(ValueError, match="infeasible|stream"):
+            self.make(n_video=1, n_audio=0, video_fps=25.0, video_frame_bytes=1 << 30)
+
+    def test_invalid_slot_parameters_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            multimedia_connections(
+                np.random.default_rng(0),
+                n_nodes=8,
+                n_video=1,
+                n_audio=0,
+                slot_time_s=0.0,
+                slot_payload_bytes=SLOT_BYTES,
+            )

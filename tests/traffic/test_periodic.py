@@ -1,0 +1,139 @@
+"""Tests for periodic sources and random connection-set generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.traffic.periodic import ConnectionSource, random_connection_set, uunifast
+
+
+def conn(period=10, size=1, phase=0):
+    return LogicalRealTimeConnection(
+        source=0,
+        destinations=frozenset([1]),
+        period_slots=period,
+        size_slots=size,
+        phase_slots=phase,
+    )
+
+
+class TestConnectionSource:
+    def test_releases_on_period(self):
+        src = ConnectionSource(conn(period=5, phase=2))
+        released = {s: src.messages_for_slot(s) for s in range(12)}
+        assert [s for s, msgs in released.items() if msgs] == [2, 7]
+        # (slot 12 would be the next release)
+
+    def test_released_message_has_correct_slot(self):
+        src = ConnectionSource(conn(period=5))
+        (msg,) = src.messages_for_slot(5)
+        assert msg.created_slot == 5
+        assert msg.deadline_slot == 10  # the period-5 window (5, 10]
+
+    def test_activation_window(self):
+        src = ConnectionSource(conn(period=5), active_from=10, active_until=20)
+        assert src.messages_for_slot(5) == []
+        assert len(src.messages_for_slot(10)) == 1
+        assert len(src.messages_for_slot(15)) == 1
+        assert src.messages_for_slot(20) == []
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ConnectionSource(conn(), active_from=10, active_until=5)
+
+    def test_source_node_matches_connection(self):
+        assert ConnectionSource(conn()).node == 0
+
+
+class TestUUniFast:
+    def test_sums_to_target(self):
+        rng = np.random.default_rng(1)
+        us = uunifast(rng, 10, 0.8)
+        assert sum(us) == pytest.approx(0.8)
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(2)
+        assert all(u > 0 for u in uunifast(rng, 20, 0.5))
+
+    def test_single_connection_gets_everything(self):
+        rng = np.random.default_rng(3)
+        assert uunifast(rng, 1, 0.42) == [0.42]
+
+    def test_deterministic_under_seed(self):
+        a = uunifast(np.random.default_rng(7), 5, 0.6)
+        b = uunifast(np.random.default_rng(7), 5, 0.6)
+        assert a == b
+
+    def test_invalid_args_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="at least one"):
+            uunifast(rng, 0, 0.5)
+        with pytest.raises(ValueError, match="positive"):
+            uunifast(rng, 3, 0.0)
+
+    @given(st.integers(min_value=1, max_value=50), st.floats(min_value=0.01, max_value=2.0))
+    @settings(max_examples=30)
+    def test_partition_property(self, n, total):
+        rng = np.random.default_rng(99)
+        us = uunifast(rng, n, total)
+        assert len(us) == n
+        assert sum(us) == pytest.approx(total, rel=1e-9)
+        assert all(u >= 0 for u in us)
+
+
+class TestRandomConnectionSet:
+    def test_roughly_hits_target_utilisation(self):
+        rng = np.random.default_rng(5)
+        conns = random_connection_set(
+            rng, n_nodes=8, n_connections=20, total_utilisation=0.6
+        )
+        achieved = sum(c.utilisation for c in conns)
+        assert achieved == pytest.approx(0.6, rel=0.35)
+
+    def test_periods_within_range(self):
+        rng = np.random.default_rng(6)
+        conns = random_connection_set(
+            rng, 8, 30, 0.5, period_range=(20, 200)
+        )
+        assert all(20 <= c.period_slots <= 200 for c in conns)
+
+    def test_endpoints_valid(self):
+        rng = np.random.default_rng(7)
+        conns = random_connection_set(rng, 6, 40, 0.5)
+        for c in conns:
+            assert 0 <= c.source < 6
+            assert all(0 <= d < 6 for d in c.destinations)
+            assert c.source not in c.destinations
+
+    def test_multicast_fraction(self):
+        rng = np.random.default_rng(8)
+        conns = random_connection_set(
+            rng, 8, 100, 0.5, multicast_probability=1.0
+        )
+        assert all(len(c.destinations) >= 2 for c in conns)
+
+    def test_no_multicast_by_default(self):
+        rng = np.random.default_rng(9)
+        conns = random_connection_set(rng, 8, 50, 0.5)
+        assert all(len(c.destinations) == 1 for c in conns)
+
+    def test_zero_phases_on_request(self):
+        rng = np.random.default_rng(10)
+        conns = random_connection_set(rng, 8, 20, 0.5, random_phases=False)
+        assert all(c.phase_slots == 0 for c in conns)
+
+    def test_deterministic_under_seed(self):
+        a = random_connection_set(np.random.default_rng(11), 8, 10, 0.4)
+        b = random_connection_set(np.random.default_rng(11), 8, 10, 0.4)
+        assert [(c.source, c.destinations, c.period_slots, c.size_slots) for c in a] == [
+            (c.source, c.destinations, c.period_slots, c.size_slots) for c in b
+        ]
+
+    def test_invalid_multicast_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            random_connection_set(np.random.default_rng(0), 8, 5, 0.5, multicast_probability=1.5)
+
+    def test_invalid_period_range_rejected(self):
+        with pytest.raises(ValueError, match="period range"):
+            random_connection_set(np.random.default_rng(0), 8, 5, 0.5, period_range=(10, 5))

@@ -1,0 +1,140 @@
+"""Tests for the stochastic best-effort / non-real-time sources."""
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import TrafficClass
+from repro.traffic.poisson import BurstySource, PoissonSource
+
+
+class TestPoissonSource:
+    def make(self, rate=0.1, tc=TrafficClass.BEST_EFFORT, deadline=50, seed=0, **kw):
+        return PoissonSource(
+            node=0,
+            n_nodes=8,
+            rate_per_slot=rate,
+            traffic_class=tc,
+            rng=np.random.default_rng(seed),
+            relative_deadline_slots=deadline,
+            **kw,
+        )
+
+    def test_mean_rate_approximated(self):
+        src = self.make(rate=0.25)
+        total = sum(len(src.messages_for_slot(s)) for s in range(20_000))
+        assert total / 20_000 == pytest.approx(0.25, rel=0.1)
+
+    def test_zero_rate_never_releases(self):
+        src = self.make(rate=0.0)
+        assert all(src.messages_for_slot(s) == [] for s in range(100))
+
+    def test_messages_carry_deadline(self):
+        src = self.make(rate=5.0, deadline=30)
+        msgs = src.messages_for_slot(7)
+        assert msgs, "rate 5 should yield arrivals"
+        assert all(m.deadline_slot == 37 for m in msgs)
+        assert all(m.created_slot == 7 for m in msgs)
+
+    def test_random_destinations_never_self(self):
+        src = self.make(rate=5.0)
+        for s in range(50):
+            for m in src.messages_for_slot(s):
+                assert 0 not in m.destinations
+                assert all(0 <= d < 8 for d in m.destinations)
+
+    def test_fixed_destinations(self):
+        src = self.make(rate=5.0, destinations=[3, 5])
+        (m, *_) = src.messages_for_slot(0)
+        assert m.destinations == frozenset([3, 5])
+
+    def test_rt_class_rejected(self):
+        with pytest.raises(ValueError, match="periodic"):
+            PoissonSource(
+                node=0,
+                n_nodes=8,
+                rate_per_slot=0.1,
+                traffic_class=TrafficClass.RT_CONNECTION,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_best_effort_needs_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            self.make(deadline=None)
+
+    def test_nrt_must_not_have_deadline(self):
+        with pytest.raises(ValueError, match="no deadline"):
+            self.make(tc=TrafficClass.NON_REAL_TIME, deadline=50)
+
+    def test_nrt_messages_have_no_deadline(self):
+        src = PoissonSource(
+            node=0,
+            n_nodes=8,
+            rate_per_slot=5.0,
+            traffic_class=TrafficClass.NON_REAL_TIME,
+            rng=np.random.default_rng(0),
+        )
+        msgs = src.messages_for_slot(0)
+        assert msgs and all(m.deadline_slot is None for m in msgs)
+
+    def test_deterministic_under_seed(self):
+        a = self.make(rate=0.5, seed=42)
+        b = self.make(rate=0.5, seed=42)
+        for s in range(200):
+            assert len(a.messages_for_slot(s)) == len(b.messages_for_slot(s))
+
+
+class TestBurstySource:
+    def make(self, seed=0, **kw):
+        defaults = dict(
+            node=1,
+            n_nodes=8,
+            rng=np.random.default_rng(seed),
+            mean_on_slots=10.0,
+            mean_off_slots=40.0,
+        )
+        defaults.update(kw)
+        return BurstySource(**defaults)
+
+    def test_mean_rate_formula(self):
+        src = self.make()
+        # Duty cycle 10/(10+40) = 0.2 at arrival probability 1.
+        assert src.mean_rate_per_slot == pytest.approx(0.2)
+
+    def test_long_run_rate_matches(self):
+        src = self.make(seed=3)
+        total = sum(len(src.messages_for_slot(s)) for s in range(50_000))
+        assert total / 50_000 == pytest.approx(src.mean_rate_per_slot, rel=0.15)
+
+    def test_arrivals_are_bursty(self):
+        """Arrivals cluster: the lag-1 autocorrelation of the arrival
+        indicator is clearly positive (i.i.d. Poisson would be ~0)."""
+        src = self.make(seed=5)
+        xs = np.array(
+            [len(src.messages_for_slot(s)) for s in range(50_000)], dtype=float
+        )
+        xs -= xs.mean()
+        autocorr = float(np.dot(xs[:-1], xs[1:]) / np.dot(xs, xs))
+        assert autocorr > 0.5
+
+    def test_slots_must_advance(self):
+        src = self.make()
+        src.messages_for_slot(5)
+        with pytest.raises(ValueError, match="backwards"):
+            src.messages_for_slot(5)
+
+    def test_rt_class_rejected(self):
+        with pytest.raises(ValueError, match="periodic"):
+            self.make(traffic_class=TrafficClass.RT_CONNECTION)
+
+    def test_invalid_dwell_rejected(self):
+        with pytest.raises(ValueError, match="dwell"):
+            self.make(mean_on_slots=0.5)
+
+    def test_messages_valid(self):
+        src = self.make(seed=7)
+        for s in range(500):
+            for m in src.messages_for_slot(s):
+                assert m.source == 1
+                assert m.created_slot == s
+                assert m.traffic_class is TrafficClass.BEST_EFFORT
+                assert m.deadline_slot == s + 100

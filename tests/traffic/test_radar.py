@@ -1,0 +1,69 @@
+"""Tests for the radar-pipeline workload generator."""
+
+import pytest
+
+from repro.traffic.radar import DEFAULT_STAGE_VOLUMES, radar_pipeline_connections
+
+
+class TestRadarPipeline:
+    def test_one_connection_per_stage_hop_plus_feedback(self):
+        conns = radar_pipeline_connections(
+            n_nodes=8, cpi_slots=1000, input_volume_slots=100
+        )
+        # 6 stages -> 5 inter-stage hops + 1 feedback.
+        assert len(conns) == len(DEFAULT_STAGE_VOLUMES)
+
+    def test_no_feedback_option(self):
+        conns = radar_pipeline_connections(
+            n_nodes=8, cpi_slots=1000, input_volume_slots=100, feedback=False
+        )
+        assert len(conns) == len(DEFAULT_STAGE_VOLUMES) - 1
+
+    def test_all_periods_equal_cpi(self):
+        conns = radar_pipeline_connections(8, 1000, 100)
+        assert all(c.period_slots == 1000 for c in conns)
+
+    def test_stages_on_consecutive_nodes(self):
+        conns = radar_pipeline_connections(8, 1000, 100, first_node=2, feedback=False)
+        for i, c in enumerate(conns):
+            assert c.source == (2 + i) % 8
+            assert c.destinations == frozenset([(2 + i + 1) % 8])
+
+    def test_volumes_shrink_along_chain(self):
+        conns = radar_pipeline_connections(8, 1000, 100, feedback=False)
+        sizes = [c.size_slots for c in conns]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == 100  # full data cube between first stages
+
+    def test_feedback_is_small_and_wraps(self):
+        conns = radar_pipeline_connections(8, 1000, 100, first_node=0)
+        fb = conns[-1]
+        assert fb.size_slots == 1
+        assert fb.source == 5  # last of 6 stages
+        assert fb.destinations == frozenset([0])
+
+    def test_phases_staggered_within_cpi(self):
+        conns = radar_pipeline_connections(12, 1200, 100, feedback=False)
+        phases = [c.phase_slots for c in conns]
+        assert phases == sorted(phases)
+        assert all(0 <= p < 1200 for p in phases)
+
+    def test_infeasible_volume_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            radar_pipeline_connections(8, cpi_slots=50, input_volume_slots=100)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least 6 nodes"):
+            radar_pipeline_connections(4, 1000, 100)
+
+    def test_custom_stage_volumes(self):
+        conns = radar_pipeline_connections(
+            4, 100, 10, stage_volumes=(1.0, 0.5, 0.1), feedback=False
+        )
+        assert [c.size_slots for c in conns] == [10, 5]
+
+    def test_total_utilisation_reasonable(self):
+        conns = radar_pipeline_connections(8, 1000, 100)
+        u = sum(c.utilisation for c in conns)
+        # 100 + 100 + 50 + 25 + 5 + 1 slots per 1000-slot CPI.
+        assert u == pytest.approx(0.281, abs=0.001)

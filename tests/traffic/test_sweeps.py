@@ -1,0 +1,78 @@
+"""Tests for load-sweep rescaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+
+def conn(period, size, source=0, dst=1, phase=0):
+    return LogicalRealTimeConnection(
+        source=source,
+        destinations=frozenset([dst]),
+        period_slots=period,
+        size_slots=size,
+        phase_slots=phase,
+    )
+
+
+class TestScaling:
+    def test_scales_down(self):
+        conns = [conn(10, 5)]  # U = 0.5
+        scaled = scale_connections_to_utilisation(conns, 0.25)
+        achieved = sum(c.utilisation for c in scaled)
+        assert achieved == pytest.approx(0.25, rel=0.1)
+
+    def test_scales_up(self):
+        conns = [conn(100, 10)]  # U = 0.1
+        scaled = scale_connections_to_utilisation(conns, 0.4)
+        achieved = sum(c.utilisation for c in scaled)
+        assert achieved == pytest.approx(0.4, rel=0.1)
+
+    def test_preserves_structure(self):
+        conns = [conn(50, 5, source=2, dst=6), conn(80, 4, source=1, dst=3)]
+        scaled = scale_connections_to_utilisation(conns, 0.05)
+        assert [(c.source, c.destinations, c.size_slots) for c in scaled] == [
+            (2, frozenset([6]), 5),
+            (1, frozenset([3]), 4),
+        ]
+
+    def test_size_never_exceeds_period(self):
+        conns = [conn(10, 10)]  # U = 1.0
+        scaled = scale_connections_to_utilisation(conns, 2.0)
+        assert all(c.size_slots <= c.period_slots for c in scaled)
+
+    def test_random_set_scaling_accuracy(self):
+        rng = np.random.default_rng(4)
+        conns = random_connection_set(rng, 8, 20, 0.5, period_range=(50, 500))
+        for target in (0.1, 0.3, 0.7, 0.9):
+            scaled = scale_connections_to_utilisation(conns, target)
+            achieved = sum(c.utilisation for c in scaled)
+            assert achieved == pytest.approx(target, rel=0.1)
+
+    def test_phase_rescaled_into_new_period(self):
+        conns = [conn(100, 1, phase=90)]
+        scaled = scale_connections_to_utilisation(conns, 0.1)  # period -> 10
+        assert scaled[0].phase_slots < scaled[0].period_slots
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            scale_connections_to_utilisation([], 0.5)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            scale_connections_to_utilisation([conn(10, 1)], 0.0)
+
+    def test_max_period_cap(self):
+        conns = [conn(100, 1)]
+        scaled = scale_connections_to_utilisation(
+            conns, 0.0001, max_period_slots=5000
+        )
+        assert scaled[0].period_slots == 5000
+
+    def test_max_period_too_small_for_message_rejected(self):
+        conns = [conn(100, 50)]
+        with pytest.raises(ValueError, match="cannot hold"):
+            scale_connections_to_utilisation(conns, 0.001, max_period_slots=10)
