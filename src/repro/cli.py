@@ -28,6 +28,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.priorities import TrafficClass
+from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import (
     PROTOCOLS,
     ScenarioConfig,
@@ -95,6 +96,89 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "faults", "stochastic fault injection (experiment S12)"
+    )
+    group.add_argument(
+        "--fault-node-mttf",
+        type=float,
+        default=None,
+        metavar="SLOTS",
+        help="mean slots between transient node failures (default: off)",
+    )
+    group.add_argument(
+        "--fault-node-mttr",
+        type=float,
+        default=200.0,
+        metavar="SLOTS",
+        help="mean node outage length in slots (default 200)",
+    )
+    group.add_argument(
+        "--fault-collection-loss",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-slot collection-packet loss probability (default 0)",
+    )
+    group.add_argument(
+        "--fault-distribution-loss",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-slot distribution-packet loss probability (default 0)",
+    )
+    group.add_argument(
+        "--fault-burst-p-gb",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="Gilbert-Elliott good->bad transition probability (default 0)",
+    )
+    group.add_argument(
+        "--fault-burst-p-bg",
+        type=float,
+        default=0.1,
+        metavar="P",
+        help="Gilbert-Elliott bad->good transition probability (default 0.1)",
+    )
+    group.add_argument(
+        "--fault-clock-glitch",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-slot clock-glitch probability (default 0)",
+    )
+    group.add_argument(
+        "--fault-timeout-us",
+        type=float,
+        default=2.0,
+        metavar="US",
+        help="recovery timeout in microseconds (default 2)",
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault RNG seed, independent of the workload seed (default 0)",
+    )
+
+
+def _fault_config(args: argparse.Namespace) -> FaultConfig | None:
+    config = FaultConfig(
+        node_mttf_slots=args.fault_node_mttf,
+        node_mttr_slots=args.fault_node_mttr,
+        p_collection_loss=args.fault_collection_loss,
+        p_distribution_loss=args.fault_distribution_loss,
+        ge_p_good_to_bad=args.fault_burst_p_gb,
+        ge_p_bad_to_good=args.fault_burst_p_bg,
+        p_clock_glitch=args.fault_clock_glitch,
+        timeout_s=args.fault_timeout_us * 1e-6,
+        seed=args.fault_seed,
+    )
+    return config if config.any_active() else None
+
+
 def _build_config(args: argparse.Namespace, protocol: str) -> ScenarioConfig:
     rng = np.random.default_rng(args.seed)
     conns = random_connection_set(
@@ -113,6 +197,7 @@ def _build_config(args: argparse.Namespace, protocol: str) -> ScenarioConfig:
         spatial_reuse=not args.no_spatial_reuse,
         drop_late=args.drop_late,
         connections=tuple(conns),
+        fault_config=_fault_config(args),
     )
 
 
@@ -149,6 +234,18 @@ def _print_report(protocol: str, report) -> None:
     print(f"  utilisation       : {report.utilisation:.4f}")
     print(f"  reuse factor      : {report.spatial_reuse_factor:.2f}")
     print(f"  break denials     : {report.break_denials}")
+    avail = report.availability_stats
+    if avail.total_fault_events or avail.recoveries:
+        print(f"  -- availability --")
+        print(f"  fault events      : {avail.total_fault_events} "
+              f"({dict(avail.fault_events)})")
+        print(f"  recoveries        : {avail.recoveries}")
+        print(f"  slots lost        : {avail.slots_lost}")
+        print(f"  availability      : {report.availability:.6f}")
+        print(f"  mean recovery     : {avail.mean_time_to_recover_s * 1e6:.2f} us")
+        print(f"  node fail/rejoin  : {avail.node_failures}/{avail.node_rejoins}")
+        print(f"  RT missed (fault) : "
+              f"{rt.deadline_missed_in_fault_window} of {rt.deadline_missed}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -177,18 +274,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 report.utilisation,
                 report.spatial_reuse_factor,
                 report.break_denials,
+                report.availability,
             )
         )
     achieved = sum(c.utilisation for c in _build_config(args, "ccr-edf").connections)
     print(f"workload: U={achieved:.3f}, {args.connections} connections, "
           f"seed {args.seed}, {args.slots} slots\n")
-    header = f"{'protocol':10s} {'miss':>8s} {'latency':>8s} {'util':>7s} {'reuse':>6s} {'breaks':>7s}"
+    header = (f"{'protocol':10s} {'miss':>8s} {'latency':>8s} {'util':>7s} "
+              f"{'reuse':>6s} {'breaks':>7s} {'avail':>7s}")
     print(header)
     print("-" * len(header))
-    for protocol, miss, lat, util, reuse, breaks in rows:
+    for protocol, miss, lat, util, reuse, breaks, avail in rows:
         print(
             f"{protocol:10s} {miss:8.4f} {lat:8.2f} {util:7.4f} "
-            f"{reuse:6.2f} {breaks:7d}"
+            f"{reuse:6.2f} {breaks:7d} {avail:7.4f}"
         )
     return 0
 
@@ -275,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="ccr-edf",
         help="MAC protocol (default ccr-edf)",
     )
+    _add_fault_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser(
@@ -282,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_network_args(p_cmp)
     _add_workload_args(p_cmp)
+    _add_fault_args(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_ana = sub.add_parser(

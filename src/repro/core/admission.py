@@ -54,6 +54,7 @@ class AdmissionController:
     def __init__(self, timing: NetworkTiming):
         self.timing = timing
         self._accepted: dict[int, LogicalRealTimeConnection] = {}
+        self._suspended: dict[int, LogicalRealTimeConnection] = {}
 
     # ------------------------------------------------------------------
 
@@ -61,6 +62,11 @@ class AdmissionController:
     def accepted_connections(self) -> tuple[LogicalRealTimeConnection, ...]:
         """The current set Ma."""
         return tuple(self._accepted.values())
+
+    @property
+    def suspended_connections(self) -> tuple[LogicalRealTimeConnection, ...]:
+        """Connections suspended by a node failure, awaiting rejoin."""
+        return tuple(self._suspended.values())
 
     @property
     def utilisation(self) -> float:
@@ -74,7 +80,10 @@ class AdmissionController:
 
     def request(self, connection: LogicalRealTimeConnection) -> AdmissionDecision:
         """Test a new connection; admit it into Ma iff the test passes."""
-        if connection.connection_id in self._accepted:
+        if (
+            connection.connection_id in self._accepted
+            or connection.connection_id in self._suspended
+        ):
             raise ValueError(
                 f"connection {connection.connection_id} is already admitted"
             )
@@ -92,17 +101,89 @@ class AdmissionController:
         )
 
     def remove(self, connection_id: int) -> LogicalRealTimeConnection:
-        """Remove a connection from Ma (runtime tear-down), returning it."""
-        try:
+        """Remove a connection (runtime tear-down), returning it.
+
+        Works on admitted and suspended connections alike -- a torn-down
+        connection must not come back on node rejoin.
+        """
+        if connection_id in self._accepted:
             return self._accepted.pop(connection_id)
-        except KeyError:
-            raise KeyError(
-                f"connection {connection_id} is not in the accepted set"
-            ) from None
+        if connection_id in self._suspended:
+            return self._suspended.pop(connection_id)
+        raise KeyError(
+            f"connection {connection_id} is not in the accepted set"
+        )
 
     def is_admitted(self, connection_id: int) -> bool:
         """Whether a connection is currently in the accepted set Ma."""
         return connection_id in self._accepted
+
+    def is_suspended(self, connection_id: int) -> bool:
+        """Whether a connection is suspended (owner node down)."""
+        return connection_id in self._suspended
+
+    # ------------------------------------------------------------------
+    # Fault integration: suspend on node failure, re-admit on rejoin.
+    # ------------------------------------------------------------------
+
+    def suspend(self, connection_id: int) -> LogicalRealTimeConnection:
+        """Move an admitted connection out of Ma, reclaiming its utilisation.
+
+        Used when the owning node fail-stops: the connection's slots stop
+        being consumed, so its share of ``U_max`` becomes available to new
+        admission requests until :meth:`resume` re-admits it.
+        """
+        try:
+            conn = self._accepted.pop(connection_id)
+        except KeyError:
+            raise KeyError(
+                f"connection {connection_id} is not in the accepted set"
+            ) from None
+        self._suspended[connection_id] = conn
+        return conn
+
+    def resume(self, connection_id: int) -> AdmissionDecision:
+        """Re-run the admission test for a suspended connection.
+
+        On success the connection re-enters Ma; on failure (its share was
+        given away while the node was down) it stays suspended, and the
+        caller may retry once utilisation frees up.
+        """
+        try:
+            conn = self._suspended[connection_id]
+        except KeyError:
+            raise KeyError(
+                f"connection {connection_id} is not suspended"
+            ) from None
+        before = self.utilisation
+        with_new = before + conn.utilisation
+        accepted = with_new <= self.u_max
+        if accepted:
+            del self._suspended[connection_id]
+            self._accepted[connection_id] = conn
+        return AdmissionDecision(
+            accepted=accepted,
+            connection=conn,
+            utilisation_before=before,
+            utilisation_with=with_new,
+            u_max=self.u_max,
+        )
+
+    def suspend_node(self, node: int) -> tuple[int, ...]:
+        """Suspend every admitted connection sourced at ``node``."""
+        ids = tuple(
+            cid for cid, c in self._accepted.items() if c.source == node
+        )
+        for cid in ids:
+            self.suspend(cid)
+        return ids
+
+    def resume_node(self, node: int) -> tuple[AdmissionDecision, ...]:
+        """Try to re-admit every suspended connection sourced at ``node``."""
+        ids = tuple(
+            cid for cid, c in self._suspended.items() if c.source == node
+        )
+        return tuple(self.resume(cid) for cid in ids)
 
     def __len__(self) -> int:
         return len(self._accepted)

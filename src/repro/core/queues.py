@@ -126,6 +126,25 @@ class NodeQueues:
             heapq.heapify(heap)
         return dropped
 
+    def purge(self) -> list[Message]:
+        """Drop every live queued message and empty all three queues.
+
+        Models a node crash/rejoin: a repaired node restarts with empty
+        queues, so whatever it had buffered is lost and must be
+        re-released by the application.  Returns the dropped messages so
+        the caller can account them.
+        """
+        purged: list[Message] = []
+        for heap in self._heaps.values():
+            for entry in heap:
+                msg = entry.message
+                if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
+                    continue
+                msg.drop()
+                purged.append(msg)
+            heap.clear()
+        return purged
+
     def pending_count(self, traffic_class: TrafficClass | None = None) -> int:
         """Number of live (pending or in-transit) messages queued."""
         classes = (

@@ -36,6 +36,16 @@ REPORT_FIELDS: tuple[str, ...] = (
     "be_miss_ratio",
     "nrt_released",
     "nrt_delivered",
+    # Availability section (all zero / 1.0 / NaN on fault-free runs).
+    "fault_events",
+    "recoveries",
+    "slots_lost_to_faults",
+    "availability",
+    "mean_time_to_recover_s",
+    "node_failures",
+    "node_rejoins",
+    "node_downtime_slots",
+    "rt_missed_in_fault_window",
 )
 
 
@@ -44,6 +54,7 @@ def report_row(report: SimulationReport) -> dict[str, object]:
     rt = report.class_stats(TrafficClass.RT_CONNECTION)
     be = report.class_stats(TrafficClass.BEST_EFFORT)
     nrt = report.class_stats(TrafficClass.NON_REAL_TIME)
+    avail = report.availability_stats
     return {
         "n_nodes": report.n_nodes,
         "slots_simulated": report.slots_simulated,
@@ -64,6 +75,15 @@ def report_row(report: SimulationReport) -> dict[str, object]:
         "be_miss_ratio": be.deadline_miss_ratio,
         "nrt_released": nrt.released,
         "nrt_delivered": nrt.delivered,
+        "fault_events": avail.total_fault_events,
+        "recoveries": avail.recoveries,
+        "slots_lost_to_faults": avail.slots_lost,
+        "availability": report.availability,
+        "mean_time_to_recover_s": avail.mean_time_to_recover_s,
+        "node_failures": avail.node_failures,
+        "node_rejoins": avail.node_rejoins,
+        "node_downtime_slots": avail.node_downtime_slots,
+        "rt_missed_in_fault_window": rt.deadline_missed_in_fault_window,
     }
 
 

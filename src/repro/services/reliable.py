@@ -49,34 +49,49 @@ class PacketLossModel:
 
 @dataclass(frozen=True, slots=True)
 class ReliableStats:
-    """Derived reliability figures for one finished simulation."""
+    """Derived reliability figures for one finished simulation.
 
-    packets_delivered: int
+    ``packets_ok`` counts data-packets that crossed the ring
+    uncorrupted.  The engine filters lost packets out of the slot plan
+    *before* execution, so the report's ``packets_sent`` counter is
+    exactly this quantity -- the field is named for what it measures,
+    not for the report counter it happens to be read from (the old
+    ``packets_delivered`` name drifted from both).
+    """
+
+    packets_ok: int
     packets_lost: int
 
     @classmethod
     def from_simulation(cls, sim: Simulation) -> "ReliableStats":
-        """Extract the reliability counters from a finished simulation."""
+        """Extract the reliability counters from a finished simulation.
+
+        ``report.packets_sent`` only ever counts transmissions that
+        survived the loss model (the engine voids lost packets before
+        :meth:`~repro.core.protocol.MacProtocol.execute_plan` runs), so
+        it equals the number of uncorrupted packets; the loss counter
+        lives on the simulation itself.
+        """
         return cls(
-            packets_delivered=sim.report.packets_sent,
+            packets_ok=sim.report.packets_sent,
             packets_lost=sim.packets_lost,
         )
 
     @property
     def packets_transmitted(self) -> int:
         """All transmission attempts, successful or not."""
-        return self.packets_delivered + self.packets_lost
+        return self.packets_ok + self.packets_lost
 
     @property
     def retransmission_overhead(self) -> float:
-        """Extra transmissions per delivered packet (0 = lossless)."""
-        if self.packets_delivered == 0:
+        """Extra transmissions per successful packet (0 = lossless)."""
+        if self.packets_ok == 0:
             return float("nan")
-        return self.packets_lost / self.packets_delivered
+        return self.packets_lost / self.packets_ok
 
     @property
     def goodput_fraction(self) -> float:
         """Fraction of transmission attempts that delivered payload."""
         if self.packets_transmitted == 0:
             return float("nan")
-        return self.packets_delivered / self.packets_transmitted
+        return self.packets_ok / self.packets_transmitted

@@ -8,32 +8,67 @@ quantity that makes utilisation strictly less than 1 (Equation 6).
 * :mod:`repro.sim.engine` -- the :class:`Simulation` slot loop;
 * :mod:`repro.sim.metrics` -- per-message and per-slot accounting and the
   :class:`SimulationReport` aggregate;
-* :mod:`repro.sim.faults` -- node-failure and control-loss injection with
-  the timeout/designated-node recovery sketched in the paper's future
-  work;
+* :mod:`repro.sim.faults` -- scripted node-failure and control-loss
+  injection with the timeout/designated-node recovery sketched in the
+  paper's future work;
+* :mod:`repro.sim.fault_models` -- composable stochastic fault sources
+  (Bernoulli and Gilbert-Elliott control-channel loss, transient node
+  faults with rejoin, clock glitches) plus the bounded-backoff
+  :class:`~repro.sim.fault_models.RecoveryPolicy`;
 * :mod:`repro.sim.trace` -- optional per-slot event trace and wire-format
   verification;
 * :mod:`repro.sim.runner` -- one-call scenario helpers used by examples
   and benchmarks.
 """
 
-from repro.sim.engine import Simulation
-from repro.sim.metrics import ClassStats, ConnectionStats, MetricsCollector, SimulationReport
+from repro.sim.engine import RecoveryState, Simulation
+from repro.sim.metrics import (
+    AvailabilityStats,
+    ClassStats,
+    ConnectionStats,
+    MetricsCollector,
+    SimulationReport,
+)
 from repro.sim.faults import FaultInjector
+from repro.sim.fault_models import (
+    BernoulliControlLoss,
+    ClockGlitchFaults,
+    CompositeFaultModel,
+    FaultConfig,
+    FaultModel,
+    GilbertElliottControlLoss,
+    RecoveryPolicy,
+    ScriptedFaultModel,
+    ScriptedNodeOutages,
+    TransientNodeFaults,
+)
 from repro.sim.trace import SlotTrace, TraceRecord
-from repro.sim.batch import BatchResult, MetricSummary, replicate
+from repro.sim.batch import AVAILABILITY_METRICS, BatchResult, MetricSummary, replicate
 from repro.sim.control_channel import ControlChannelTimeline, compute_timeline, verify_all_masters
 from repro.sim.runner import ScenarioConfig, run_scenario
 
 __all__ = [
     "Simulation",
+    "RecoveryState",
+    "AvailabilityStats",
     "ClassStats",
     "ConnectionStats",
     "MetricsCollector",
     "SimulationReport",
     "FaultInjector",
+    "FaultModel",
+    "FaultConfig",
+    "RecoveryPolicy",
+    "ScriptedFaultModel",
+    "ScriptedNodeOutages",
+    "BernoulliControlLoss",
+    "GilbertElliottControlLoss",
+    "TransientNodeFaults",
+    "ClockGlitchFaults",
+    "CompositeFaultModel",
     "SlotTrace",
     "TraceRecord",
+    "AVAILABILITY_METRICS",
     "BatchResult",
     "MetricSummary",
     "replicate",

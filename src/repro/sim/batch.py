@@ -75,6 +75,28 @@ class MetricSummary:
         return float(np.max(self.values))
 
 
+def _rt_miss_ratio(report: SimulationReport) -> float:
+    from repro.core.priorities import TrafficClass
+
+    return report.class_stats(TrafficClass.RT_CONNECTION).deadline_miss_ratio
+
+
+#: Ready-made extractors for the availability section -- pass (a subset
+#: of) this mapping as the ``metrics`` argument of :func:`replicate` to
+#: replicate fault experiments without hand-writing lambdas.
+AVAILABILITY_METRICS: dict[str, "Callable[[SimulationReport], float]"] = {
+    "availability": lambda r: r.availability,
+    "fault_events": lambda r: float(r.availability_stats.total_fault_events),
+    "recoveries": lambda r: float(r.availability_stats.recoveries),
+    "slots_lost": lambda r: float(r.availability_stats.slots_lost),
+    "recovery_time_s": lambda r: r.availability_stats.recovery_time_s,
+    "node_downtime_slots": lambda r: float(
+        r.availability_stats.node_downtime_slots
+    ),
+    "rt_miss_ratio": _rt_miss_ratio,
+}
+
+
 @dataclass(frozen=True)
 class BatchResult:
     """All replications of one scenario."""

@@ -8,28 +8,55 @@ the variable quantity Equation (1) describes -- zero when the master keeps
 the clock, up to ``(N-1)`` link delays when it moves to the upstream
 neighbour.
 
-Fault semantics (experiment S9): a failed node is fail-stop with passive
-optical pass-through -- it stops releasing, requesting, transmitting and
-clocking, but light still traverses its links, so the rest of the ring
-keeps operating.  When the node due to clock a slot is dead, or the
-distribution packet announcing it was lost, the remaining nodes time out
-and the designated node restarts the clock (the recovery sketched in the
-paper's Section 8), voiding that slot's grants.
+Fault semantics (experiments S9/S12): a failed node is fail-stop with
+passive optical pass-through -- it stops releasing, requesting,
+transmitting and clocking, but light still traverses its links, so the
+rest of the ring keeps operating.  A *transient* failure additionally
+ends: on repair the node rejoins with empty queues (its stale messages
+are purged and counted as fault-window drops) and, when an admission
+controller is attached, its suspended connections are re-admitted.
+
+Recovery is an explicit three-state machine driven once per slot:
+
+* ``NORMAL`` -- the expected clock appeared; transmissions proceed.
+* ``RECOVERING`` -- the clock never appeared (dead master, lost
+  distribution packet, or clock glitch): after the timeout the
+  *designated node* (lowest-id live node) restarts the clock, the slot's
+  grants are void, and arbitration continues during the recovery slot.
+  Consecutive failed recoveries back the timeout off exponentially
+  (bounded), so repeated losses *during* recovery converge instead of
+  thrashing.
+* ``RESYNC`` -- the first clean slot after a recovery; one slot later
+  the machine is back to ``NORMAL`` and the backoff resets.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 from collections.abc import Mapping, Sequence
 
+from repro.core.admission import AdmissionController
 from repro.core.messages import MessageStatus
 from repro.core.protocol import MacProtocol, SlotOutcome, SlotPlan
 from repro.core.queues import NodeQueues
 from repro.core.timing import NetworkTiming
+from repro.sim.fault_models import FaultModel, coerce_fault_model
 from repro.sim.faults import FaultInjector
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.trace import SlotTrace
 from repro.traffic.base import TrafficSource
+
+
+class RecoveryState(enum.Enum):
+    """Phases of the clock-loss recovery state machine."""
+
+    #: Expected clock appeared; normal operation.
+    NORMAL = "normal"
+    #: Clock missing; designated node took over after the timeout.
+    RECOVERING = "recovering"
+    #: First clean slot after a recovery (still inside the fault window).
+    RESYNC = "resync"
 
 
 class Simulation:
@@ -52,7 +79,14 @@ class Simulation:
     trace:
         Optional :class:`~repro.sim.trace.SlotTrace` to record events.
     faults:
-        Optional fault script.
+        Optional fault source: a legacy scripted
+        :class:`~repro.sim.faults.FaultInjector` (wrapped for backwards
+        compatibility) or any
+        :class:`~repro.sim.fault_models.FaultModel` -- stochastic,
+        transient, composite.  Its recovery timeout must exceed the
+        worst-case hand-over gap, or healthy hand-overs would be
+        misclassified as failures (enforced here, satisfying the
+        documented invariant).
     loss_model:
         Optional per-packet loss model (reliable-transmission service).
         A lost packet consumes its slot but makes no progress; the sender
@@ -60,6 +94,10 @@ class Simulation:
         next distribution packet (refs [4][11]) and simply re-requests,
         so retransmission costs exactly one extra slot of that message's
         traffic and zero control bandwidth.
+    admission:
+        Optional admission controller holding the accepted set Ma.  When
+        a node fail-stops, its connections are suspended (utilisation
+        reclaimed); when it rejoins they are re-admitted.
     """
 
     def __init__(
@@ -70,8 +108,9 @@ class Simulation:
         initial_master: int = 0,
         drop_late: bool = False,
         trace: SlotTrace | None = None,
-        faults: FaultInjector | None = None,
+        faults: "FaultModel | FaultInjector | None" = None,
         loss_model: "PacketLossModel | None" = None,
+        admission: AdmissionController | None = None,
     ):
         self.timing = timing
         self.protocol = protocol
@@ -93,17 +132,33 @@ class Simulation:
         self.sources = tuple(sources)
         self.drop_late = drop_late
         self.trace = trace
-        self.faults = faults
+        self.faults = coerce_fault_model(faults)
         self.loss_model = loss_model
+        self.admission = admission
         #: Packets lost and later retransmitted (reliable service stats).
         self.packets_lost = 0
+
+        if self.faults is not None:
+            worst_gap = timing.max_handover_time_s
+            timeout = self.faults.recovery.timeout_s
+            if timeout <= worst_gap:
+                raise ValueError(
+                    f"recovery timeout {timeout:.3e} s must exceed the "
+                    f"worst-case hand-over gap {worst_gap:.3e} s, or healthy "
+                    "hand-overs would be misclassified as failures"
+                )
 
         self.queues: dict[int, NodeQueues] = {i: NodeQueues(i) for i in range(n)}
         self._empty_queues: dict[int, NodeQueues] = {}
         self.metrics = MetricsCollector(n)
         self.current_slot = 0
         self._prev_master = initial_master
-        self._control_lost_last_slot = False
+        self._pending_distribution_loss = False
+        #: Recovery state machine (see module docstring).
+        self.recovery_state = RecoveryState.NORMAL
+        self._recovery_attempts = 0
+        #: Liveness of each node as of the last processed slot.
+        self._node_alive: list[bool] = [True] * n
         # Slot 0 has no preceding arbitration: the initial master clocks an
         # idle slot while the first collection/distribution round runs.
         self._plan = SlotPlan(
@@ -120,18 +175,84 @@ class Simulation:
     def _alive(self, node: int, slot: int) -> bool:
         return self.faults is None or self.faults.is_alive(node, slot)
 
-    def _apply_recovery(self, plan: SlotPlan, slot: int) -> SlotPlan:
-        """Replace a plan whose master cannot clock (or was never learnt).
+    def _update_node_states(self, slot: int) -> None:
+        """Process node fail-stop and rejoin transitions at ``slot``.
 
-        The designated node assumes the master role after the timeout;
-        all grants of the affected slot are void.
+        A failing node's queue is frozen (fail-stop: nobody can read it
+        back); a rejoining node starts from *empty* queues, so its stale
+        messages are purged (counted as fault-window drops) and it must
+        re-request everything.  Admission bookkeeping follows the node:
+        suspend on failure, re-admit on rejoin.
         """
         assert self.faults is not None
-        designated = self.faults.designated_node(slot, self.topology.n_nodes)
+        dead = 0
+        for node in range(self.topology.n_nodes):
+            alive = self.faults.is_alive(node, slot)
+            if not alive:
+                dead += 1
+            if alive == self._node_alive[node]:
+                continue
+            self._node_alive[node] = alive
+            if not alive:
+                self.metrics.on_node_failure()
+                if self.admission is not None:
+                    self.admission.suspend_node(node)
+            else:
+                self.metrics.on_node_rejoin()
+                purged = self.queues[node].purge()
+                was_active = self.metrics.fault_window_active
+                self.metrics.fault_window_active = True
+                for msg in purged:
+                    self.metrics.on_drop(msg)
+                self.metrics.fault_window_active = was_active
+                if self.admission is not None:
+                    self.admission.resume_node(node)
+        if dead:
+            self.metrics.on_node_downtime(dead)
+
+    def _resolve_clock(self, plan: SlotPlan, slot: int) -> SlotPlan:
+        """Run the recovery state machine for one slot.
+
+        Decides whether the slot's expected clock actually appears; if
+        not, the designated node assumes the master role after the
+        (backed-off) timeout and the slot's grants are void.
+        """
+        faults = self.faults
+        assert faults is not None
+        clock_missing = not self._alive(plan.master, slot)
+        if self._pending_distribution_loss:
+            # Nobody learnt the arbitration result: the planned master
+            # does not know it should clock.
+            clock_missing = True
+        self._pending_distribution_loss = False
+        if faults.clock_glitch(slot):
+            self.metrics.on_fault_event("clock_glitch")
+            clock_missing = True
+
+        if not clock_missing:
+            if self.recovery_state is RecoveryState.RECOVERING:
+                self.recovery_state = RecoveryState.RESYNC
+            elif self.recovery_state is RecoveryState.RESYNC:
+                self.recovery_state = RecoveryState.NORMAL
+            self._recovery_attempts = 0
+            if plan.transmissions:
+                # Void grants of transmitters that died meanwhile.
+                live = tuple(
+                    tx for tx in plan.transmissions if self._node_alive[tx.node]
+                )
+                if len(live) != len(plan.transmissions):
+                    plan = dataclasses.replace(plan, transmissions=live)
+            return plan
+
+        designated = faults.designated_node(slot, self.topology.n_nodes)
+        timeout = faults.recovery.timeout_for(self._recovery_attempts)
+        self._recovery_attempts += 1
+        self.recovery_state = RecoveryState.RECOVERING
+        self.metrics.on_recovery(timeout)
         return dataclasses.replace(
             plan,
             master=designated,
-            gap_s=plan.gap_s + self.faults.recovery_timeout_s,
+            gap_s=plan.gap_s + timeout,
             transmissions=(),
         )
 
@@ -139,24 +260,19 @@ class Simulation:
         """Execute one slot and plan the next; returns what happened."""
         slot = self.current_slot
         plan = self._plan
+        faults = self.faults
 
         # --- fault handling: does this slot's clock actually start? ----
-        if self.faults is not None:
-            master_dead = not self._alive(plan.master, slot)
-            if master_dead or self._control_lost_last_slot:
-                plan = self._apply_recovery(plan, slot)
-            elif plan.transmissions:
-                # Void grants of transmitters that died meanwhile.
-                live = tuple(
-                    tx for tx in plan.transmissions if self._alive(tx.node, slot)
-                )
-                if len(live) != len(plan.transmissions):
-                    plan = dataclasses.replace(plan, transmissions=live)
-        self._control_lost_last_slot = False
+        if faults is not None:
+            self._update_node_states(slot)
+            plan = self._resolve_clock(plan, slot)
+            self.metrics.fault_window_active = (
+                self.recovery_state is not RecoveryState.NORMAL
+            )
 
         # --- traffic release -------------------------------------------
         for src in self.sources:
-            if not self._alive(src.node, slot):
+            if faults is not None and not self._node_alive[src.node]:
                 continue
             for msg in src.messages_for_slot(slot):
                 if msg.source != src.node or msg.created_slot != slot:
@@ -193,10 +309,10 @@ class Simulation:
 
         # --- arbitration for the next slot ------------------------------
         queues_view: Mapping[int, NodeQueues] = self.queues
-        if self.faults is not None:
+        if faults is not None:
             view: dict[int, NodeQueues] = {}
             for node, q in self.queues.items():
-                if self._alive(node, slot):
+                if self._node_alive[node]:
                     view[node] = q
                 else:
                     # A dead node appends nothing: present an empty queue.
@@ -205,8 +321,25 @@ class Simulation:
                     view[node] = self._empty_queues[node]
             queues_view = view
         next_plan = self.protocol.plan_slot(slot, outcome.master, queues_view)
-        if self.faults is not None and self.faults.control_lost(slot):
-            self._control_lost_last_slot = True
+        if faults is not None:
+            if faults.collection_lost(slot):
+                # The request packet never returned: the master knows the
+                # round failed and keeps the clock through an idle slot.
+                self.metrics.on_fault_event("collection_loss")
+                self.metrics.on_arbitration_void()
+                next_plan = dataclasses.replace(
+                    next_plan,
+                    master=outcome.master,
+                    gap_s=0.0,
+                    transmissions=(),
+                    denied_by_break=(),
+                    n_requests=0,
+                )
+            if faults.distribution_lost(slot):
+                # The result never reached the nodes: detected next slot
+                # when the expected clock stays silent.
+                self.metrics.on_fault_event("distribution_loss")
+                self._pending_distribution_loss = True
 
         # --- accounting --------------------------------------------------
         hops = self.topology.distance(self._prev_master, outcome.master)

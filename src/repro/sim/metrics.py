@@ -73,6 +73,11 @@ class ClassStats:
     dropped: int = 0
     deadline_met: int = 0
     deadline_missed: int = 0
+    #: Subset of :attr:`deadline_missed` recorded while the engine was
+    #: inside a fault window (recovering from a fault, or purging the
+    #: queue of a rejoining node) -- misses attributable to faults
+    #: rather than to ordinary overload.
+    deadline_missed_in_fault_window: int = 0
     #: Delivery latencies in slots (completion - creation + 1, i.e. the
     #: number of slots the message spanned).
     latencies_slots: list[int] = field(default_factory=list)
@@ -110,6 +115,46 @@ class ClassStats:
 
 
 @dataclass
+class AvailabilityStats:
+    """Fault and recovery accounting of one simulation run.
+
+    Separates three orthogonal quantities: what went wrong
+    (:attr:`fault_events`, by kind), what the protocol did about it
+    (:attr:`recoveries` and their cost), and how node capacity evolved
+    (failures, rejoins, downtime).
+    """
+
+    #: Injected fault occurrences by kind (``"collection_loss"``,
+    #: ``"distribution_loss"``, ``"clock_glitch"``, ``"node_failure"``).
+    fault_events: Counter = field(default_factory=Counter)
+    #: Timeout takeovers performed by the designated node.
+    recoveries: int = 0
+    #: Slots whose data capacity was voided by faults (recovery slots
+    #: plus arbitration rounds lost to collection-packet loss).
+    slots_lost: int = 0
+    #: Wall-clock time spent waiting out recovery timeouts [s].
+    recovery_time_s: float = 0.0
+    #: Node fail-stop transitions observed.
+    node_failures: int = 0
+    #: Node repair/rejoin transitions observed.
+    node_rejoins: int = 0
+    #: Sum over slots of the number of dead nodes during that slot.
+    node_downtime_slots: int = 0
+
+    @property
+    def total_fault_events(self) -> int:
+        """All injected fault occurrences, regardless of kind."""
+        return sum(self.fault_events.values())
+
+    @property
+    def mean_time_to_recover_s(self) -> float:
+        """Mean timeout paid per recovery (NaN before any recovery)."""
+        if self.recoveries == 0:
+            return float("nan")
+        return self.recovery_time_s / self.recoveries
+
+
+@dataclass
 class SimulationReport:
     """Everything one simulation run measured."""
 
@@ -138,6 +183,10 @@ class SimulationReport:
     )
     #: Per-connection aggregates, keyed by connection id (RT class only).
     per_connection: dict[int, ConnectionStats] = field(default_factory=dict)
+    #: Fault and recovery accounting (all zero on fault-free runs).
+    availability_stats: AvailabilityStats = field(
+        default_factory=AvailabilityStats
+    )
 
     # ------------------------------------------------------------------
 
@@ -208,6 +257,18 @@ class SimulationReport:
         return sum(s.delivered for s in self.per_class.values())
 
     @property
+    def availability(self) -> float:
+        """Fraction of simulated slots whose data capacity survived faults.
+
+        ``1.0`` on a fault-free run; every recovery slot and every
+        arbitration round voided by a collection-packet loss reduces it.
+        """
+        if self.slots_simulated == 0:
+            return float("nan")
+        lost = min(self.availability_stats.slots_lost, self.slots_simulated)
+        return (self.slots_simulated - lost) / self.slots_simulated
+
+    @property
     def overall_deadline_miss_ratio(self) -> float:
         """Miss ratio pooled over every deadline-bearing class."""
         met = sum(s.deadline_met for s in self.per_class.values())
@@ -222,6 +283,10 @@ class MetricsCollector:
 
     def __init__(self, n_nodes: int):
         self.report = SimulationReport(n_nodes=n_nodes)
+        #: Set by the engine while a fault window is open (recovery in
+        #: progress, or a rejoining node's queue being purged); deadline
+        #: misses recorded meanwhile are attributed to the fault.
+        self.fault_window_active = False
 
     # --- message lifecycle --------------------------------------------
 
@@ -251,6 +316,8 @@ class MetricsCollector:
             stats.deadline_met += 1
         elif met is False:
             stats.deadline_missed += 1
+            if self.fault_window_active:
+                stats.deadline_missed_in_fault_window += 1
         conn = self._connection_stats(message)
         if conn is not None:
             conn.delivered += 1
@@ -267,10 +334,43 @@ class MetricsCollector:
         if message.deadline_slot is not None:
             # A dropped deadline-bearing message is a missed deadline.
             stats.deadline_missed += 1
+            if self.fault_window_active:
+                stats.deadline_missed_in_fault_window += 1
         conn = self._connection_stats(message)
         if conn is not None:
             conn.dropped += 1
             conn.deadline_missed += 1
+
+    # --- fault lifecycle ------------------------------------------------
+
+    def on_fault_event(self, kind: str) -> None:
+        """Account one injected fault occurrence of the given kind."""
+        self.report.availability_stats.fault_events[kind] += 1
+
+    def on_recovery(self, timeout_s: float) -> None:
+        """Account one designated-node takeover (one voided slot)."""
+        a = self.report.availability_stats
+        a.recoveries += 1
+        a.slots_lost += 1
+        a.recovery_time_s += timeout_s
+
+    def on_arbitration_void(self) -> None:
+        """Account one arbitration round lost to collection-packet loss."""
+        self.report.availability_stats.slots_lost += 1
+
+    def on_node_failure(self) -> None:
+        """Account one node fail-stop transition."""
+        a = self.report.availability_stats
+        a.node_failures += 1
+        a.fault_events["node_failure"] += 1
+
+    def on_node_rejoin(self) -> None:
+        """Account one node repair/rejoin transition."""
+        self.report.availability_stats.node_rejoins += 1
+
+    def on_node_downtime(self, dead_nodes: int) -> None:
+        """Account one slot during which ``dead_nodes`` nodes were down."""
+        self.report.availability_stats.node_downtime_slots += dead_nodes
 
     # --- slot lifecycle -------------------------------------------------
 

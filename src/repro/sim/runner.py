@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.baselines.ccfpr import CcFprProtocol
 from repro.baselines.tdma import TdmaProtocol
 from repro.baselines.upper_edf import make_upper_layer_edf
+from repro.core.admission import AdmissionController
 from repro.core.arbitration import Arbiter
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.mapping import LaxityMapping
@@ -28,6 +29,7 @@ from repro.phy.constants import (
 from repro.phy.link import FibreRibbonLink
 from repro.ring.topology import RingTopology
 from repro.sim.engine import Simulation
+from repro.sim.fault_models import FaultConfig, FaultModel
 from repro.sim.faults import FaultInjector
 from repro.sim.metrics import SimulationReport
 from repro.sim.trace import SlotTrace
@@ -52,6 +54,10 @@ class ScenarioConfig:
     initial_master: int = 0
     #: Admitted logical real-time connections (one periodic source each).
     connections: tuple[LogicalRealTimeConnection, ...] = ()
+    #: Optional declarative stochastic-fault specification; built into a
+    #: :class:`~repro.sim.fault_models.CompositeFaultModel` unless an
+    #: explicit ``faults`` argument overrides it.
+    fault_config: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -99,16 +105,33 @@ def build_simulation(
     extra_sources: Sequence[TrafficSource] = (),
     mapping: LaxityMapping | None = None,
     trace: SlotTrace | None = None,
-    faults: FaultInjector | None = None,
+    faults: "FaultModel | FaultInjector | None" = None,
     loss_model=None,
+    with_admission: bool = False,
 ) -> Simulation:
-    """Assemble a ready-to-run simulation for a scenario."""
+    """Assemble a ready-to-run simulation for a scenario.
+
+    ``faults`` accepts a scripted :class:`FaultInjector` or any
+    :class:`~repro.sim.fault_models.FaultModel`; when omitted and the
+    scenario carries a :attr:`ScenarioConfig.fault_config`, that
+    configuration is built (seeded from its own fault seed).  With
+    ``with_admission=True`` an :class:`AdmissionController` is created,
+    the scenario's connections are admission-tested into it, and the
+    engine suspends/re-admits them across node failures and rejoins.
+    """
     timing = make_timing(config)
     protocol = make_protocol(config, timing.topology, mapping)
     sources: list[TrafficSource] = [
         ConnectionSource(c) for c in config.connections
     ]
     sources.extend(extra_sources)
+    if faults is None and config.fault_config is not None:
+        faults = config.fault_config.build(config.n_nodes)
+    admission = None
+    if with_admission:
+        admission = AdmissionController(timing)
+        for conn in config.connections:
+            admission.request(conn)
     return Simulation(
         timing=timing,
         protocol=protocol,
@@ -118,6 +141,7 @@ def build_simulation(
         trace=trace,
         faults=faults,
         loss_model=loss_model,
+        admission=admission,
     )
 
 
@@ -127,8 +151,9 @@ def run_scenario(
     extra_sources: Sequence[TrafficSource] = (),
     mapping: LaxityMapping | None = None,
     trace: SlotTrace | None = None,
-    faults: FaultInjector | None = None,
+    faults: "FaultModel | FaultInjector | None" = None,
     loss_model=None,
+    with_admission: bool = False,
 ) -> SimulationReport:
     """Build and run a scenario for ``n_slots`` slots."""
     sim = build_simulation(
@@ -138,5 +163,6 @@ def run_scenario(
         trace=trace,
         faults=faults,
         loss_model=loss_model,
+        with_admission=with_admission,
     )
     return sim.run(n_slots)

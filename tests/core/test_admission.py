@@ -120,6 +120,74 @@ class TestRuntimeChanges:
         assert set(ctrl.accepted_connections) == {c1, c2}
 
 
+class TestSuspendResume:
+    def test_suspend_reclaims_utilisation(self):
+        ctrl = controller()
+        d = ctrl.request(conn(10, 2))
+        cid = d.connection.connection_id
+        ctrl.suspend(cid)
+        assert ctrl.utilisation == 0.0
+        assert not ctrl.is_admitted(cid)
+        assert ctrl.is_suspended(cid)
+
+    def test_resume_readmits(self):
+        ctrl = controller()
+        d = ctrl.request(conn(10, 2))
+        cid = d.connection.connection_id
+        ctrl.suspend(cid)
+        decision = ctrl.resume(cid)
+        assert decision.accepted
+        assert ctrl.is_admitted(cid)
+        assert not ctrl.is_suspended(cid)
+        assert ctrl.utilisation == pytest.approx(0.2)
+
+    def test_resume_reruns_the_admission_test(self):
+        ctrl = controller()
+        d = ctrl.request(conn(10, 6))
+        cid = d.connection.connection_id
+        ctrl.suspend(cid)
+        # Capacity is snatched while the connection is down.
+        ctrl.request(conn(10, 6))
+        decision = ctrl.resume(cid)
+        assert not decision.accepted
+        # The connection stays suspended, ready for a later retry.
+        assert ctrl.is_suspended(cid)
+        assert ctrl.utilisation == pytest.approx(0.6)
+
+    def test_suspend_unknown_raises(self):
+        with pytest.raises(KeyError, match="not in the accepted set"):
+            controller().suspend(999_999)
+
+    def test_suspended_id_cannot_be_readmitted_directly(self):
+        ctrl = controller()
+        c = conn(10, 1)
+        ctrl.request(c)
+        ctrl.suspend(c.connection_id)
+        with pytest.raises(ValueError, match="already admitted"):
+            ctrl.request(c)
+
+    def test_remove_while_suspended(self):
+        ctrl = controller()
+        c = conn(10, 1)
+        ctrl.request(c)
+        ctrl.suspend(c.connection_id)
+        assert ctrl.remove(c.connection_id) is c
+        assert not ctrl.is_suspended(c.connection_id)
+
+    def test_node_granularity(self):
+        ctrl = controller()
+        a = ctrl.request(conn(10, 1, source=3)).connection
+        b = ctrl.request(conn(10, 2, source=3)).connection
+        other = ctrl.request(conn(10, 1, source=2)).connection
+        suspended = ctrl.suspend_node(3)
+        assert set(suspended) == {a.connection_id, b.connection_id}
+        assert ctrl.utilisation == pytest.approx(0.1)
+        assert ctrl.is_admitted(other.connection_id)
+        decisions = ctrl.resume_node(3)
+        assert all(d.accepted for d in decisions)
+        assert ctrl.utilisation == pytest.approx(0.4)
+
+
 class TestInvariant:
     @given(
         st.lists(

@@ -95,12 +95,29 @@ class TestReliableStats:
     def test_empty_stats_nan(self):
         import math
 
-        stats = ReliableStats(packets_delivered=0, packets_lost=0)
+        stats = ReliableStats(packets_ok=0, packets_lost=0)
         assert math.isnan(stats.retransmission_overhead)
         assert math.isnan(stats.goodput_fraction)
 
     def test_arithmetic(self):
-        stats = ReliableStats(packets_delivered=80, packets_lost=20)
+        stats = ReliableStats(packets_ok=80, packets_lost=20)
         assert stats.packets_transmitted == 100
         assert stats.goodput_fraction == pytest.approx(0.8)
         assert stats.retransmission_overhead == pytest.approx(0.25)
+
+    def test_packets_ok_counts_only_successes_under_loss(self):
+        """Regression for the packets_delivered naming/semantics drift:
+        the engine filters lost packets out of the plan before execution,
+        so ``packets_sent`` (hence ``packets_ok``) must exclude every
+        loss -- attempts = ok + lost exactly."""
+        sim = build(loss_p=0.3, seed=5, period=2)
+        clean = build(loss_p=0.0, period=2)
+        sim.run(4000)
+        clean.run(4000)
+        stats = ReliableStats.from_simulation(sim)
+        assert stats.packets_lost > 0
+        assert stats.packets_ok == sim.report.packets_sent
+        # The lossless run's packet count bounds the successful packets:
+        # every loss costs (at least) one success relative to clean.
+        assert stats.packets_ok < clean.report.packets_sent
+        assert stats.packets_transmitted == stats.packets_ok + stats.packets_lost
