@@ -2,8 +2,15 @@
 
 Not a paper experiment: this tracks the engine's own speed so
 regressions in the hot path (request composition, the grant sweep, the
-slot loop) are caught.  Uses real pytest-benchmark rounds, unlike the
-experiment benches which run once and report protocol metrics.
+slot loop, the idle fast-forward) are caught.  Uses real pytest-benchmark
+rounds, unlike the experiment benches which run once and report protocol
+metrics.
+
+Scenario construction happens in ``benchmark.pedantic`` *setup*
+callables, outside the timed region -- only ``Simulation.run`` is
+measured.  Each scenario's mean slots/sec lands in ``BENCH_perf.json``
+(via the ``perf_record`` fixture); the committed copy at the repo root is
+the baseline ``check_perf_regression.py`` compares against in CI.
 """
 
 import numpy as np
@@ -13,62 +20,109 @@ from repro.traffic.periodic import random_connection_set
 from repro.traffic.sweeps import scale_connections_to_utilisation
 
 SLOTS = 2000
+ROUNDS = 5
 
 
-def _sim(n_nodes, utilisation, seed=1):
+def _loaded_config(n_nodes, utilisation, seed=1):
     rng = np.random.default_rng(seed)
     conns = random_connection_set(
         rng, n_nodes, 2 * n_nodes, 0.5, period_range=(10, 100)
     )
     conns = scale_connections_to_utilisation(conns, utilisation)
-    return build_simulation(
-        ScenarioConfig(n_nodes=n_nodes, connections=tuple(conns))
+    return ScenarioConfig(n_nodes=n_nodes, connections=tuple(conns))
+
+
+def _measure(benchmark, perf_record, name, make_sim, warmup_slots=0):
+    """Benchmark ``sim.run(SLOTS)`` with construction in untimed setup."""
+
+    def setup():
+        sim = make_sim()
+        if warmup_slots:
+            sim.run(warmup_slots)
+        return (sim,), {}
+
+    def run(sim):
+        sim.run(SLOTS)
+        return sim.report
+
+    report = benchmark.pedantic(
+        run, setup=setup, rounds=ROUNDS, iterations=1, warmup_rounds=0
     )
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["slots_per_s"] = SLOTS / mean
+    perf_record(name, SLOTS, mean)
+    return report
 
 
-def test_perf_loaded_ring_n8(benchmark):
-    def run():
-        sim = _sim(8, 0.8)
-        sim.run(SLOTS)
-        return sim.report.packets_sent
-
-    packets = benchmark(run)
-    assert packets > 0
-    benchmark.extra_info["slots_per_round"] = SLOTS
-
-
-def test_perf_loaded_ring_n32(benchmark):
-    def run():
-        sim = _sim(32, 0.8)
-        sim.run(SLOTS)
-        return sim.report.packets_sent
-
-    packets = benchmark(run)
-    assert packets > 0
-    benchmark.extra_info["slots_per_round"] = SLOTS
+def test_perf_loaded_ring_n8(benchmark, perf_record):
+    config = _loaded_config(8, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n8",
+        lambda: build_simulation(config),
+    )
+    assert report.packets_sent > 0
 
 
-def test_perf_idle_ring(benchmark):
-    """The no-traffic fast path: planning cost with empty queues."""
+def test_perf_loaded_ring_n8_hot_cache(benchmark, perf_record):
+    """Steady state: compose/route/gap caches warmed by a full run."""
+    config = _loaded_config(8, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n8_hot_cache",
+        lambda: build_simulation(config),
+        warmup_slots=SLOTS,
+    )
+    assert report.packets_sent > 0
 
-    def run():
-        sim = build_simulation(ScenarioConfig(n_nodes=8))
-        sim.run(SLOTS)
-        return sim.report.slots_simulated
 
-    slots = benchmark(run)
-    assert slots == SLOTS
+def test_perf_loaded_ring_n32(benchmark, perf_record):
+    config = _loaded_config(32, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n32",
+        lambda: build_simulation(config),
+    )
+    assert report.packets_sent > 0
 
 
-def test_perf_ccfpr_baseline(benchmark):
-    def run():
-        rng = np.random.default_rng(1)
-        conns = random_connection_set(rng, 8, 16, 0.8, period_range=(10, 100))
-        sim = build_simulation(
-            ScenarioConfig(n_nodes=8, protocol="ccfpr", connections=tuple(conns))
-        )
-        sim.run(SLOTS)
-        return sim.report.packets_sent
+def test_perf_idle_ring_fast_forward(benchmark, perf_record):
+    """The no-traffic path with idle-slot fast-forward (default on)."""
+    config = ScenarioConfig(n_nodes=8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "idle_ring_fast_forward",
+        lambda: build_simulation(config),
+    )
+    assert report.slots_simulated == SLOTS
 
-    packets = benchmark(run)
-    assert packets > 0
+
+def test_perf_idle_ring_plan_loop(benchmark, perf_record):
+    """The no-traffic path stepped slot by slot: pure planning cost."""
+    config = ScenarioConfig(n_nodes=8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "idle_ring_plan_loop",
+        lambda: build_simulation(config, fast_forward=False),
+    )
+    assert report.slots_simulated == SLOTS
+
+
+def test_perf_ccfpr_baseline(benchmark, perf_record):
+    rng = np.random.default_rng(1)
+    conns = random_connection_set(rng, 8, 16, 0.8, period_range=(10, 100))
+    config = ScenarioConfig(
+        n_nodes=8, protocol="ccfpr", connections=tuple(conns)
+    )
+    report = _measure(
+        benchmark,
+        perf_record,
+        "ccfpr_baseline",
+        lambda: build_simulation(config),
+    )
+    assert report.packets_sent > 0

@@ -13,6 +13,8 @@ for the stochastic quantities:
   (constant vs linear in N).
 """
 
+from functools import partial
+
 import numpy as np
 from conftest import print_table
 
@@ -65,21 +67,22 @@ def test_s11_analytical_scaling(run_once, benchmark):
     benchmark.extra_info["n_range"] = [r[0] for r in rows]
 
 
-def test_s11_measured_scaling(run_once, benchmark):
+def _build_scaling(n: int, rng: "np.random.Generator"):
+    """Module-level builder (picklable) for the measured-scaling sweep."""
+    conns = random_connection_set(rng, n, 2 * n, 0.5, period_range=(10, 100))
+    conns = scale_connections_to_utilisation(conns, 0.8)
+    config = ScenarioConfig(n_nodes=n, connections=tuple(conns))
+    return build_simulation(config)
+
+
+def test_s11_measured_scaling(run_once, benchmark, bench_jobs):
     def sweep():
         rows = []
         for n in (4, 8, 16):
-            def build(rng: "np.random.Generator", n=n):
-                conns = random_connection_set(
-                    rng, n, 2 * n, 0.5, period_range=(10, 100)
-                )
-                conns = scale_connections_to_utilisation(conns, 0.8)
-                config = ScenarioConfig(n_nodes=n, connections=tuple(conns))
-                return build_simulation(config)
-
             result = replicate(
-                build,
+                partial(_build_scaling, n),
                 n_slots=8000,
+                n_jobs=bench_jobs,
                 metrics={
                     "miss": lambda r: r.class_stats(
                         TrafficClass.RT_CONNECTION

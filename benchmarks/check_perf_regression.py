@@ -1,0 +1,97 @@
+"""Compare two BENCH_perf.json files and fail on slots/sec regressions.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 0.30]
+
+Exit codes: ``0`` = no scenario regressed more than the tolerance (or the
+baseline is missing entirely -- the soft-fail first run), ``1`` = at
+least one regression, ``2`` = bad invocation.
+
+Scenarios present on only one side are reported but never fail the
+check, so adding or renaming a bench does not break CI on its own PR.
+Timing noise on shared CI runners is why the default tolerance is a
+generous 30%: only genuine hot-path regressions trip it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing slots/sec per scenario."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            notes.append(f"new scenario (no baseline): {name}")
+            continue
+        if name not in current:
+            notes.append(f"scenario missing from current run: {name}")
+            continue
+        base = float(baseline[name]["slots_per_s"])
+        cur = float(current[name]["slots_per_s"])
+        ratio = cur / base if base > 0 else float("inf")
+        line = (
+            f"{name}: {base:,.0f} -> {cur:,.0f} slots/s "
+            f"({(ratio - 1):+.1%})"
+        )
+        if ratio < 1.0 - tolerance:
+            regressions.append(line)
+        else:
+            notes.append(line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown per scenario (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}: soft pass (first run records one)"
+        )
+        return 0
+    if not args.current.exists():
+        print(f"current results not found at {args.current}")
+        return 2
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except json.JSONDecodeError:
+        print(f"unreadable baseline at {args.baseline}: soft pass")
+        return 0
+    current = json.loads(args.current.read_text())
+    regressions, notes = compare(baseline, current, args.tolerance)
+
+    for line in notes:
+        print(f"  ok   {line}")
+    for line in regressions:
+        print(f"  FAIL {line}")
+    if regressions:
+        print(
+            f"{len(regressions)} scenario(s) regressed more than "
+            f"{args.tolerance:.0%} in slots/sec"
+        )
+        return 1
+    print("no perf regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ from collections.abc import Mapping
 
 from repro.core.protocol import MacProtocol, PlannedTransmission, SlotPlan
 from repro.core.queues import NodeQueues
-from repro.ring.segments import links_for_multicast, masks_overlap
+from repro.ring.segments import masks_overlap
 from repro.ring.topology import RingTopology
 
 
@@ -66,10 +66,7 @@ class CcFprProtocol(MacProtocol):
         queues_by_node: Mapping[int, NodeQueues],
     ) -> SlotPlan:
         n = self.topology.n_nodes
-        if set(queues_by_node.keys()) != set(range(n)):
-            raise ValueError(
-                f"queues_by_node must cover exactly nodes 0..{n - 1}"
-            )
+        self._check_queues(queues_by_node)
 
         next_master = self.topology.downstream(current_master)
         break_mask = 1 << ((next_master - 1) % n)
@@ -93,7 +90,7 @@ class CcFprProtocol(MacProtocol):
             if msg is None:
                 continue
             n_requests += 1
-            links = links_for_multicast(self.topology, msg.source, msg.destinations)
+            links, _ = self.route_masks(msg.source, msg.destinations)
             tx = PlannedTransmission(
                 node=node,
                 message=msg,
@@ -112,7 +109,11 @@ class CcFprProtocol(MacProtocol):
             booked |= links
             transmissions.append(tx)
 
-        gap_s = self.topology.handover_delay_s(current_master, next_master)
+        gap_key = (current_master, next_master)
+        gap_s = self._gap_cache.get(gap_key)
+        if gap_s is None:
+            gap_s = self.topology.handover_delay_s(current_master, next_master)
+            self._gap_cache[gap_key] = gap_s
         return SlotPlan(
             transmit_slot=current_slot + 1,
             master=next_master,

@@ -21,7 +21,6 @@ from collections.abc import Mapping
 
 from repro.core.protocol import MacProtocol, PlannedTransmission, SlotPlan
 from repro.core.queues import NodeQueues
-from repro.ring.segments import links_for_multicast
 from repro.ring.topology import RingTopology
 
 
@@ -38,10 +37,7 @@ class TdmaProtocol(MacProtocol):
         queues_by_node: Mapping[int, NodeQueues],
     ) -> SlotPlan:
         n = self.topology.n_nodes
-        if set(queues_by_node.keys()) != set(range(n)):
-            raise ValueError(
-                f"queues_by_node must cover exactly nodes 0..{n - 1}"
-            )
+        self._check_queues(queues_by_node)
 
         transmit_slot = current_slot + 1
         owner = transmit_slot % n
@@ -50,7 +46,7 @@ class TdmaProtocol(MacProtocol):
         n_requests = 0
         if msg is not None:
             n_requests = 1
-            links = links_for_multicast(self.topology, msg.source, msg.destinations)
+            links, _ = self.route_masks(msg.source, msg.destinations)
             transmissions = (
                 PlannedTransmission(
                     node=owner,
@@ -60,7 +56,11 @@ class TdmaProtocol(MacProtocol):
                 ),
             )
 
-        gap_s = self.topology.handover_delay_s(current_master, owner)
+        gap_key = (current_master, owner)
+        gap_s = self._gap_cache.get(gap_key)
+        if gap_s is None:
+            gap_s = self.topology.handover_delay_s(current_master, owner)
+            self._gap_cache[gap_key] = gap_s
         return SlotPlan(
             transmit_slot=transmit_slot,
             master=owner,

@@ -94,6 +94,15 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="analysis mode: at most one transmission per slot",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help="worker processes for replications / protocol fan-out "
+        "(default 1 = serial; 0 = one per CPU); results are "
+        "bit-identical to a serial run",
+    )
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -248,35 +257,127 @@ def _print_report(protocol: str, report) -> None:
               f"{rt.deadline_missed_in_fault_window} of {rt.deadline_missed}")
 
 
+def _build_replication(
+    args: argparse.Namespace, rng: np.random.Generator
+):
+    """Replication builder for ``simulate --replications``.
+
+    Module-level (not a closure) so it survives pickling into worker
+    processes when ``--jobs`` fans replications out; the replication's
+    generator redraws the whole workload, so replications differ in
+    workload *and* arrival noise.
+    """
+    from repro.sim.runner import build_simulation
+
+    conns = random_connection_set(
+        rng,
+        n_nodes=args.nodes,
+        n_connections=args.connections,
+        total_utilisation=args.utilisation,
+        period_range=(10, 200),
+    )
+    conns = scale_connections_to_utilisation(conns, args.utilisation)
+    config = ScenarioConfig(
+        n_nodes=args.nodes,
+        protocol=args.protocol,
+        link_length_m=args.link_length,
+        slot_payload_bytes=args.payload,
+        spatial_reuse=not args.no_spatial_reuse,
+        drop_late=args.drop_late,
+        connections=tuple(conns),
+        fault_config=_fault_config(args),
+    )
+    return build_simulation(config)
+
+
+#: Metrics reported by ``simulate --replications``.
+_REPLICATION_METRICS = {
+    "rt_miss_ratio": lambda r: r.class_stats(
+        TrafficClass.RT_CONNECTION
+    ).deadline_miss_ratio,
+    "rt_mean_latency_slots": lambda r: r.class_stats(
+        TrafficClass.RT_CONNECTION
+    ).mean_latency_slots,
+    "utilisation": lambda r: r.utilisation,
+    "availability": lambda r: r.availability,
+}
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """The `simulate` subcommand: one protocol, one workload."""
+    if args.replications > 1:
+        from functools import partial
+
+        from repro.sim.batch import replicate
+
+        print(f"replicating: {args.replications} seeds from master seed "
+              f"{args.seed}, {args.jobs if args.jobs != 1 else 1} job(s)")
+        result = replicate(
+            partial(_build_replication, args),
+            n_slots=args.slots,
+            metrics=_REPLICATION_METRICS,
+            n_replications=args.replications,
+            master_seed=args.seed,
+            n_jobs=args.jobs,
+        )
+        print(f"protocol            : {args.protocol}")
+        for name, summary in result.metrics.items():
+            lo, hi = summary.confidence_interval()
+            print(f"  {name:20s}: {summary.mean:.4f} "
+                  f"(95% CI [{lo:.4f}, {hi:.4f}], n={summary.n})")
+        return 0
+
     config = _build_config(args, args.protocol)
     achieved = sum(c.utilisation for c in config.connections)
     print(f"workload: {args.connections} connections, "
           f"U={achieved:.3f} (target {args.utilisation}), seed {args.seed}")
-    report = run_scenario(config, n_slots=args.slots)
+    profiler = None
+    if args.profile:
+        from repro.sim.profiling import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    report = run_scenario(config, n_slots=args.slots, profiler=profiler)
     _print_report(args.protocol, report)
+    if profiler is not None:
+        print("\nslot-loop phase profile:")
+        print(profiler.format_table())
     return 0
+
+
+def _compare_one(args: argparse.Namespace, protocol: str):
+    """One protocol's row of the comparison table.
+
+    Module-level so ``compare --jobs`` can evaluate protocols in
+    parallel worker processes; each worker rebuilds the identical
+    workload from the shared seed.
+    """
+    config = _build_config(args, protocol)
+    report = run_scenario(config, n_slots=args.slots)
+    rt = report.class_stats(TrafficClass.RT_CONNECTION)
+    return (
+        protocol,
+        rt.deadline_miss_ratio,
+        rt.mean_latency_slots,
+        report.utilisation,
+        report.spatial_reuse_factor,
+        report.break_denials,
+        report.availability,
+    )
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """The `compare` subcommand: all protocols, identical workload."""
-    rows = []
-    for protocol in PROTOCOLS:
-        config = _build_config(args, protocol)
-        report = run_scenario(config, n_slots=args.slots)
-        rt = report.class_stats(TrafficClass.RT_CONNECTION)
-        rows.append(
-            (
-                protocol,
-                rt.deadline_miss_ratio,
-                rt.mean_latency_slots,
-                report.utilisation,
-                report.spatial_reuse_factor,
-                report.break_denials,
-                report.availability,
-            )
-        )
+    if args.jobs != 1:
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        from repro.sim.parallel import resolve_jobs
+
+        jobs = min(resolve_jobs(args.jobs), len(PROTOCOLS))
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            rows = list(pool.map(partial(_compare_one, args), PROTOCOLS))
+    else:
+        rows = [_compare_one(args, protocol) for protocol in PROTOCOLS]
     achieved = sum(c.utilisation for c in _build_config(args, "ccr-edf").connections)
     print(f"workload: U={achieved:.3f}, {args.connections} connections, "
           f"seed {args.seed}, {args.slots} slots\n")
@@ -373,6 +474,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PROTOCOLS,
         default="ccr-edf",
         help="MAC protocol (default ccr-edf)",
+    )
+    p_sim.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        metavar="R",
+        help="independent replications to aggregate (default 1); with "
+        "--jobs they run in parallel processes",
+    )
+    p_sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the slot loop per phase and print the table",
     )
     _add_fault_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)

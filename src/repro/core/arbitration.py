@@ -149,20 +149,42 @@ class Arbiter:
             The fixed next master; required iff ``break_policy`` is
             :attr:`BreakPolicy.AT_FIXED_NODE`.
         """
+        entries = [
+            (packet.node_of_position(pos), req)
+            for pos, req in enumerate(packet.requests)
+            if req.priority != PRIO_NOTHING_TO_SEND
+        ]
+        return self.arbitrate_entries(
+            packet.n_nodes, packet.master, entries, break_policy, break_node
+        )
+
+    def arbitrate_entries(
+        self,
+        n_nodes: int,
+        master: int,
+        entries: list[tuple[int, CollectionRequest]],
+        break_policy: BreakPolicy = BreakPolicy.AT_HP_NODE,
+        break_node: int | None = None,
+    ) -> ArbitrationResult:
+        """Grant sweep over pre-extracted ``(node, request)`` entries.
+
+        The fast path of :meth:`arbitrate`: callers that already hold the
+        non-empty requests (the simulator's slot loop) skip the packet
+        object entirely; wire-level users go through :meth:`arbitrate`.
+        ``entries`` may be in any order and is sorted in place.
+        """
         if (break_policy is BreakPolicy.AT_FIXED_NODE) != (break_node is not None):
             raise ValueError(
                 "break_node must be given exactly when break_policy is AT_FIXED_NODE"
             )
-
-        ordered = self.sort_requests(packet)
-        if not ordered:
+        if not entries:
             # Nothing to send anywhere: the master keeps the clock.
-            return ArbitrationResult(
-                master=packet.master, grants=(), hp_node=packet.master
-            )
+            return ArbitrationResult(master=master, grants=(), hp_node=master)
 
+        entries.sort(key=lambda e: (-e[1].priority, e[0]))
+        ordered = entries
         hp_node = ordered[0][0]
-        n = packet.n_nodes
+        n = n_nodes
         if break_policy is BreakPolicy.AT_HP_NODE:
             break_mask = 1 << self.break_link(n, hp_node)
         elif break_policy is BreakPolicy.AT_FIXED_NODE:
@@ -192,7 +214,7 @@ class Arbiter:
             occupied |= request.links
 
         return ArbitrationResult(
-            master=packet.master,
+            master=master,
             grants=tuple(grants),
             hp_node=hp_node,
             denied_by_break=tuple(denied_by_break),

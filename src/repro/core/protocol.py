@@ -44,7 +44,7 @@ class PlannedTransmission:
     destinations: frozenset[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotPlan:
     """Everything decided by one arbitration round (for slot ``k + 1``).
 
@@ -72,7 +72,7 @@ class SlotPlan:
     distribution_packet: "DistributionPacket | None" = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotOutcome:
     """What actually happened in one executed slot."""
 
@@ -90,6 +90,60 @@ class MacProtocol(ABC):
 
     def __init__(self, topology: RingTopology):
         self.topology = topology
+        # Identity of the last queue mapping that passed the coverage
+        # check: the simulator hands the same mapping object to every
+        # slot, so validating it once (instead of rebuilding two sets per
+        # slot) takes the check off the hot path without weakening it for
+        # direct callers, who construct fresh mappings.
+        self._checked_queues: Mapping[int, NodeQueues] | None = None
+        # Path masks depend only on (source, destinations) on a fixed
+        # topology; caching them takes link computation off the per-slot
+        # hot path.
+        self._route_cache: dict[tuple[int, frozenset[int]], tuple[int, int]] = {}
+        # Hand-over gaps per (master, next master) pair on the fixed ring.
+        self._gap_cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def idle_plan_is_stationary(self) -> bool:
+        """Whether an all-idle arbitration keeps master and gap unchanged.
+
+        True only for protocols whose plan, when every queue is empty, is
+        a fixed point: same master, zero gap, no grants.  The simulator's
+        idle-slot fast-forward is sound exactly under this property;
+        rotating-master protocols (TDMA, CC-FPR, round-robin hand-over)
+        must return False.
+        """
+        return False
+
+    def _check_queues(self, queues_by_node: Mapping[int, NodeQueues]) -> None:
+        """Validate that the mapping covers exactly nodes ``0..N-1``.
+
+        Memoised by object identity: the per-slot driver passes one
+        long-lived mapping, which is validated on first sight only.
+        """
+        if queues_by_node is self._checked_queues:
+            return
+        n = self.topology.n_nodes
+        if set(queues_by_node.keys()) != set(range(n)):
+            raise ValueError(
+                f"queues_by_node must cover exactly nodes 0..{n - 1}"
+            )
+        self._checked_queues = queues_by_node
+
+    def route_masks(
+        self, source: int, destinations: frozenset[int]
+    ) -> tuple[int, int]:
+        """Cached ``(link mask, destination mask)`` of one ring path."""
+        key = (source, destinations)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            links = links_for_multicast(self.topology, source, destinations)
+            dest_mask = 0
+            for dst in destinations:
+                dest_mask |= 1 << dst
+            cached = (links, dest_mask)
+            self._route_cache[key] = cached
+        return cached
 
     @abstractmethod
     def plan_slot(
@@ -151,10 +205,22 @@ class CcrEdfProtocol(MacProtocol):
         self.arbiter = arbiter if arbiter is not None else Arbiter(spatial_reuse=True)
         self.handover = handover if handover is not None else EdfHandover()
         self.trace_packets = trace_packets
-        # Path masks depend only on (source, destinations) on a fixed
-        # topology; caching them takes link computation off the per-slot
-        # hot path.
-        self._route_cache: dict[tuple[int, frozenset[int]], tuple[int, int]] = {}
+        self._edf_handover = isinstance(self.handover, EdfHandover)
+        # Laxity-to-priority results; the mapping is a pure function of
+        # (laxity, class), and the same laxities recur every slot.
+        self._prio_cache: dict[tuple[int, TrafficClass], int] = {}
+        # Last composed request per node: (head message, priority,
+        # request).  Valid while the queue head and its priority bucket
+        # are unchanged -- the common case, since the logarithmic map
+        # changes bucket only when the laxity crosses a power of two.
+        self._compose_cache: dict[
+            int, tuple[Message, int, CollectionRequest]
+        ] = {}
+
+    @property
+    def idle_plan_is_stationary(self) -> bool:
+        """With EDF hand-over an all-idle slot keeps the master (gap 0)."""
+        return self._edf_handover
 
     # ------------------------------------------------------------------
 
@@ -167,32 +233,34 @@ class CcrEdfProtocol(MacProtocol):
         precedence rule picks the queue, the laxity mapping computes the
         5-bit priority, and the ring path of the message fills the link
         reservation and destination fields (Figure 4).
+
+        Composition is incremental: the request built for this node last
+        slot is reused as long as the queue head and its mapped priority
+        are unchanged, so steady-state slots recompute only the laxity.
         """
         msg = queues.head()
         if msg is None:
             return CollectionRequest.empty(), None
-        if msg.traffic_class is TrafficClass.NON_REAL_TIME:
+        traffic_class = msg.traffic_class
+        if traffic_class is TrafficClass.NON_REAL_TIME:
             priority = PRIO_NON_REAL_TIME
         else:
             laxity = msg.laxity(current_slot)
             assert laxity is not None  # deadline classes always have one
-            priority = self.mapping.priority_for(laxity, msg.traffic_class)
-        route = (msg.source, msg.destinations)
-        cached = self._route_cache.get(route)
-        if cached is None:
-            links = links_for_multicast(
-                self.topology, msg.source, msg.destinations
-            )
-            destinations = 0
-            for dst in msg.destinations:
-                destinations |= 1 << dst
-            cached = (links, destinations)
-            self._route_cache[route] = cached
-        links, destinations = cached
-        return (
-            CollectionRequest(priority=priority, links=links, destinations=destinations),
-            msg,
+            prio_key = (laxity, traffic_class)
+            priority = self._prio_cache.get(prio_key)
+            if priority is None:
+                priority = self.mapping.priority_for(laxity, traffic_class)
+                self._prio_cache[prio_key] = priority
+        cached = self._compose_cache.get(queues.node)
+        if cached is not None and cached[0] is msg and cached[1] == priority:
+            return cached[2], msg
+        links, destinations = self.route_masks(msg.source, msg.destinations)
+        request = CollectionRequest(
+            priority=priority, links=links, destinations=destinations
         )
+        self._compose_cache[queues.node] = (msg, priority, request)
+        return request, msg
 
     def plan_slot(
         self,
@@ -201,32 +269,42 @@ class CcrEdfProtocol(MacProtocol):
         queues_by_node: Mapping[int, NodeQueues],
     ) -> SlotPlan:
         n = self.topology.n_nodes
-        if set(queues_by_node.keys()) != set(range(n)):
-            raise ValueError(
-                f"queues_by_node must cover exactly nodes 0..{n - 1}"
-            )
+        self._check_queues(queues_by_node)
 
         # --- collection phase: each node appends its request ----------
-        requests_by_node: dict[int, CollectionRequest] = {}
-        messages_by_node: dict[int, Message | None] = {}
-        for node in range(n):
-            req, msg = self.compose_request(queues_by_node[node], current_slot)
-            requests_by_node[node] = req
-            messages_by_node[node] = msg
+        # Walk the nodes in append order (downstream from the master; the
+        # master itself last, at d == n) exactly as the packet travels,
+        # keeping only the non-empty requests the master would process.
+        compose = self.compose_request
+        entries: list[tuple[int, CollectionRequest]] = []
+        messages_by_node: dict[int, Message] = {}
+        for d in range(1, n + 1):
+            node = (current_master + d) % n
+            request, msg = compose(queues_by_node[node], current_slot)
+            if msg is not None:
+                entries.append((node, request))
+                messages_by_node[node] = msg
+        n_requests = len(entries)
+        requests_by_node = dict(entries)
 
-        # Assemble in append order (downstream from the master; the master
-        # itself last) exactly as the packet travels.
-        ordered = [
-            requests_by_node[(current_master + d) % n] for d in range(1, n)
-        ]
-        ordered.append(requests_by_node[current_master])
-        packet = CollectionPacket(
-            n_nodes=n, master=current_master, requests=tuple(ordered)
-        )
+        packet = None
+        if self.trace_packets:
+            # Wire-level trace: assemble the exact Figure 4 packet.
+            empty = CollectionRequest.empty()
+            ordered = [
+                requests_by_node.get((current_master + d) % n, empty)
+                for d in range(1, n)
+            ]
+            ordered.append(requests_by_node.get(current_master, empty))
+            packet = CollectionPacket(
+                n_nodes=n, master=current_master, requests=tuple(ordered)
+            )
 
         # --- master processes the requests ----------------------------
-        if isinstance(self.handover, EdfHandover):
-            result = self.arbiter.arbitrate(packet, BreakPolicy.AT_HP_NODE)
+        if self._edf_handover:
+            result = self.arbiter.arbitrate_entries(
+                n, current_master, entries, BreakPolicy.AT_HP_NODE
+            )
             next_master = self.handover.next_master(
                 self.topology, current_master, result
             )
@@ -239,17 +317,24 @@ class CcrEdfProtocol(MacProtocol):
             next_master = self.handover.next_master(
                 self.topology, current_master, provisional
             )
-            result = self.arbiter.arbitrate(
-                packet, BreakPolicy.AT_FIXED_NODE, break_node=next_master
+            result = self.arbiter.arbitrate_entries(
+                n,
+                current_master,
+                entries,
+                BreakPolicy.AT_FIXED_NODE,
+                break_node=next_master,
             )
 
         # --- distribution phase & hand-over ----------------------------
-        gap_s = self.handover.gap_s(self.topology, current_master, next_master)
+        gap_key = (current_master, next_master)
+        gap_s = self._gap_cache.get(gap_key)
+        if gap_s is None:
+            gap_s = self.handover.gap_s(self.topology, current_master, next_master)
+            self._gap_cache[gap_key] = gap_s
 
         transmissions = []
         for grant in result.grants:
-            msg = messages_by_node[grant.node]
-            assert msg is not None  # granted nodes had a head message
+            msg = messages_by_node[grant.node]  # granted nodes requested
             transmissions.append(
                 PlannedTransmission(
                     node=grant.node,
@@ -261,7 +346,6 @@ class CcrEdfProtocol(MacProtocol):
         denied = []
         for node in result.denied_by_break:
             msg = messages_by_node[node]
-            assert msg is not None
             denied.append(
                 PlannedTransmission(
                     node=node,
@@ -273,6 +357,7 @@ class CcrEdfProtocol(MacProtocol):
 
         distribution = None
         if self.trace_packets:
+            assert packet is not None
             distribution = self.arbiter.build_distribution_packet(packet, result)
 
         return SlotPlan(
@@ -281,8 +366,8 @@ class CcrEdfProtocol(MacProtocol):
             gap_s=gap_s,
             transmissions=tuple(transmissions),
             denied_by_break=tuple(denied),
-            n_requests=sum(1 for r in requests_by_node.values() if not r.is_empty),
+            n_requests=n_requests,
             arbitration=result,
-            collection_packet=packet if self.trace_packets else None,
+            collection_packet=packet,
             distribution_packet=distribution,
         )

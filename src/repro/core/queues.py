@@ -20,10 +20,14 @@ from repro.core.messages import Message, MessageStatus
 from repro.core.priorities import TrafficClass
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _QueueEntry:
     sort_key: tuple[int, int]
     message: Message = field(compare=False)
+
+
+#: Statuses under which a message still occupies its queue slot.
+_LIVE = (MessageStatus.PENDING, MessageStatus.IN_TRANSIT)
 
 
 class NodeQueues:
@@ -32,7 +36,24 @@ class NodeQueues:
     Messages stay in their queue until fully transmitted (multi-slot
     messages keep their place and their deadline ordering between
     packets) or dropped.
+
+    The head lookup is memoised: :meth:`head` runs on the simulator's
+    per-slot hot path once per node, and between queue mutations the
+    answer only changes when the cached head itself finishes (delivered
+    or dropped) -- which the cheap status check below detects, since a
+    finished non-head message can never promote anything above the head.
     """
+
+    __slots__ = (
+        "node",
+        "_rt",
+        "_be",
+        "_nrt",
+        "_heaps",
+        "_fifo_counter",
+        "_cached_head",
+        "_head_valid",
+    )
 
     def __init__(self, node: int) -> None:
         self.node = node
@@ -45,6 +66,8 @@ class NodeQueues:
             TrafficClass.NON_REAL_TIME: self._nrt,
         }
         self._fifo_counter = 0
+        self._cached_head: Message | None = None
+        self._head_valid = False
 
     # ------------------------------------------------------------------
 
@@ -67,6 +90,7 @@ class NodeQueues:
         heapq.heappush(
             self._heaps[message.traffic_class], _QueueEntry(key, message)
         )
+        self._head_valid = False
 
     def _head_of(self, traffic_class: TrafficClass) -> Message | None:
         """Head of one class queue, discarding finished entries lazily."""
@@ -86,6 +110,11 @@ class NodeQueues:
         best-effort message beats any non-real-time message; within a
         class the earliest deadline (or FIFO order) wins.
         """
+        if self._head_valid:
+            msg = self._cached_head
+            if msg is None or msg.status in _LIVE:
+                return msg
+        msg = None
         for traffic_class in (
             TrafficClass.RT_CONNECTION,
             TrafficClass.BEST_EFFORT,
@@ -93,8 +122,10 @@ class NodeQueues:
         ):
             msg = self._head_of(traffic_class)
             if msg is not None:
-                return msg
-        return None
+                break
+        self._cached_head = msg
+        self._head_valid = True
+        return msg
 
     def head_of_class(self, traffic_class: TrafficClass) -> Message | None:
         """Head of a specific class queue (used by spatial-reuse probing)."""
@@ -112,6 +143,8 @@ class NodeQueues:
         dropped: list[Message] = []
         for traffic_class in (TrafficClass.RT_CONNECTION, TrafficClass.BEST_EFFORT):
             heap = self._heaps[traffic_class]
+            if not heap:
+                continue
             keep: list[_QueueEntry] = []
             for entry in heap:
                 msg = entry.message
@@ -122,8 +155,14 @@ class NodeQueues:
                     dropped.append(msg)
                 else:
                     keep.append(entry)
+            if len(keep) == len(heap):
+                # Nothing dropped and nothing finished: the heap is
+                # unchanged, so skip the copy + re-heapify (this method
+                # runs every slot under the drop-late policy).
+                continue
             heap[:] = keep
             heapq.heapify(heap)
+            self._head_valid = False
         return dropped
 
     def purge(self) -> list[Message]:
@@ -143,6 +182,7 @@ class NodeQueues:
                 msg.drop()
                 purged.append(msg)
             heap.clear()
+        self._head_valid = False
         return purged
 
     def pending_count(self, traffic_class: TrafficClass | None = None) -> int:

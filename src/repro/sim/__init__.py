@@ -45,6 +45,8 @@ from repro.sim.fault_models import (
 from repro.sim.trace import SlotTrace, TraceRecord
 from repro.sim.batch import AVAILABILITY_METRICS, BatchResult, MetricSummary, replicate
 from repro.sim.control_channel import ControlChannelTimeline, compute_timeline, verify_all_masters
+from repro.sim.parallel import replicate_parallel, resolve_jobs
+from repro.sim.profiling import PhaseProfiler
 from repro.sim.runner import ScenarioConfig, run_scenario
 
 __all__ = [
@@ -72,6 +74,9 @@ __all__ = [
     "BatchResult",
     "MetricSummary",
     "replicate",
+    "replicate_parallel",
+    "resolve_jobs",
+    "PhaseProfiler",
     "ControlChannelTimeline",
     "compute_timeline",
     "verify_all_masters",

@@ -114,6 +114,7 @@ def replicate(
     metrics: Mapping[str, Callable[[SimulationReport], float]],
     n_replications: int = 10,
     master_seed: int = 0,
+    n_jobs: int = 1,
 ) -> BatchResult:
     """Run ``build(rng)`` across independent seeds and aggregate.
 
@@ -121,7 +122,9 @@ def replicate(
     ----------
     build:
         Constructs a fresh :class:`Simulation` from a seeded generator
-        (workload randomness must come from that generator).
+        (workload randomness must come from that generator).  When
+        ``n_jobs != 1`` it must also be picklable: a module-level
+        function or a ``functools.partial`` of one.
     n_slots:
         Slots per replication.
     metrics:
@@ -131,7 +134,25 @@ def replicate(
     master_seed:
         Seeds the :class:`numpy.random.SeedSequence` that spawns one
         child seed per replication.
+    n_jobs:
+        Worker processes.  ``1`` (default) runs serially in-process;
+        any other value delegates to
+        :func:`repro.sim.parallel.replicate_parallel` (``<= 0`` = one
+        per CPU), whose results are bit-identical to the serial path.
     """
+    if n_jobs != 1:
+        # Imported lazily: parallel imports this module for the result
+        # dataclasses.
+        from repro.sim.parallel import replicate_parallel
+
+        return replicate_parallel(
+            build,
+            n_slots,
+            metrics,
+            n_replications=n_replications,
+            master_seed=master_seed,
+            n_jobs=n_jobs,
+        )
     if n_replications < 1:
         raise ValueError(
             f"need at least one replication, got {n_replications}"

@@ -111,6 +111,8 @@ class Simulation:
         faults: "FaultModel | FaultInjector | None" = None,
         loss_model: "PacketLossModel | None" = None,
         admission: AdmissionController | None = None,
+        fast_forward: bool = True,
+        profiler: "PhaseProfiler | None" = None,
     ):
         self.timing = timing
         self.protocol = protocol
@@ -159,6 +161,28 @@ class Simulation:
         self._recovery_attempts = 0
         #: Liveness of each node as of the last processed slot.
         self._node_alive: list[bool] = [True] * n
+        # The queue view handed to the protocol each slot.  Without
+        # faults it is the queue dict itself; with faults it is a
+        # persistent shadow dict in which dead nodes are replaced by an
+        # empty queue, updated only on liveness transitions instead of
+        # being rebuilt every slot.
+        self._queues_view: Mapping[int, NodeQueues] = (
+            self.queues if self.faults is None else dict(self.queues)
+        )
+        # Hand-over hop distances on the fixed ring, memoised per pair.
+        self._hops_cache: dict[tuple[int, int], int] = {}
+        self.profiler = profiler
+        # Idle-slot fast-forward is sound only when each idle slot is an
+        # exact repetition: a stationary idle plan (protocol property),
+        # no stochastic per-slot fault draws, and no per-slot trace
+        # records (traces must show every slot, so they disable it).
+        self.fast_forward = (
+            fast_forward
+            and trace is None
+            and self.faults is None
+            and loss_model is None
+            and protocol.idle_plan_is_stationary
+        )
         # Slot 0 has no preceding arbitration: the initial master clocks an
         # idle slot while the first collection/distribution round runs.
         self._plan = SlotPlan(
@@ -185,6 +209,8 @@ class Simulation:
         suspend on failure, re-admit on rejoin.
         """
         assert self.faults is not None
+        view = self._queues_view
+        assert isinstance(view, dict)
         dead = 0
         for node in range(self.topology.n_nodes):
             alive = self.faults.is_alive(node, slot)
@@ -194,10 +220,15 @@ class Simulation:
                 continue
             self._node_alive[node] = alive
             if not alive:
+                if node not in self._empty_queues:
+                    # A dead node appends nothing: present an empty queue.
+                    self._empty_queues[node] = NodeQueues(node)
+                view[node] = self._empty_queues[node]
                 self.metrics.on_node_failure()
                 if self.admission is not None:
                     self.admission.suspend_node(node)
             else:
+                view[node] = self.queues[node]
                 self.metrics.on_node_rejoin()
                 purged = self.queues[node].purge()
                 was_active = self.metrics.fault_window_active
@@ -261,6 +292,9 @@ class Simulation:
         slot = self.current_slot
         plan = self._plan
         faults = self.faults
+        profiler = self.profiler
+        if profiler is not None:
+            t_phase = profiler.clock()
 
         # --- fault handling: does this slot's clock actually start? ----
         if faults is not None:
@@ -290,6 +324,9 @@ class Simulation:
                 for dropped in queues.drop_late(slot):
                     self.metrics.on_drop(dropped)
 
+        if profiler is not None:
+            t_phase = profiler.lap("release", t_phase)
+
         # --- packet loss (reliable-transmission service) ----------------
         if self.loss_model is not None and plan.transmissions:
             kept = tuple(
@@ -307,20 +344,13 @@ class Simulation:
             if tx.message.status is MessageStatus.DELIVERED:
                 self.metrics.on_delivery(tx.message)
 
+        if profiler is not None:
+            t_phase = profiler.lap("execute", t_phase)
+
         # --- arbitration for the next slot ------------------------------
-        queues_view: Mapping[int, NodeQueues] = self.queues
-        if faults is not None:
-            view: dict[int, NodeQueues] = {}
-            for node, q in self.queues.items():
-                if self._node_alive[node]:
-                    view[node] = q
-                else:
-                    # A dead node appends nothing: present an empty queue.
-                    if node not in self._empty_queues:
-                        self._empty_queues[node] = NodeQueues(node)
-                    view[node] = self._empty_queues[node]
-            queues_view = view
-        next_plan = self.protocol.plan_slot(slot, outcome.master, queues_view)
+        next_plan = self.protocol.plan_slot(slot, outcome.master, self._queues_view)
+        if profiler is not None:
+            t_phase = profiler.lap("arbitration", t_phase)
         if faults is not None:
             if faults.collection_lost(slot):
                 # The request packet never returned: the master knows the
@@ -342,10 +372,16 @@ class Simulation:
                 self._pending_distribution_loss = True
 
         # --- accounting --------------------------------------------------
-        hops = self.topology.distance(self._prev_master, outcome.master)
+        hops_key = (self._prev_master, outcome.master)
+        hops = self._hops_cache.get(hops_key)
+        if hops is None:
+            hops = self.topology.distance(self._prev_master, outcome.master)
+            self._hops_cache[hops_key] = hops
         self.metrics.on_slot(
             outcome, plan, self.timing.slot_length_s, handover_hops=hops
         )
+        if profiler is not None:
+            profiler.lap("metrics", t_phase)
         if self.trace is not None:
             self.trace.on_slot(
                 outcome,
@@ -360,10 +396,63 @@ class Simulation:
         self.current_slot += 1
         return outcome
 
+    def _try_fast_forward(self, end: int) -> int:
+        """Skip a run of provably idle slots; returns how many were skipped.
+
+        Sound only when the pending plan is the *stationary* idle plan --
+        no requests anywhere, the master keeping the clock with a zero
+        hand-over gap -- and no traffic source can release before the
+        skip target.  Each skipped slot is then an exact repetition of
+        the last executed one: the batch accounting below reproduces
+        slot-by-slot stepping bit-for-bit (including float totals, which
+        accumulate by repeated addition rather than multiplication).
+        """
+        plan = self._plan
+        if (
+            plan.n_requests != 0
+            or plan.transmissions
+            or plan.denied_by_break
+            or plan.gap_s != 0.0
+            or plan.master != self._prev_master
+        ):
+            return 0
+        slot = self.current_slot
+        target = end
+        for src in self.sources:
+            nxt = src.next_release_slot(slot)
+            if nxt is None:
+                continue
+            if nxt <= slot:
+                return 0
+            if nxt < target:
+                target = nxt
+        k = target - slot
+        if k <= 0:
+            return 0
+        r = self.metrics.report
+        slot_length = self.timing.slot_length_s
+        for _ in range(k):
+            r.wall_time_s += slot_length
+            r.slot_time_s += slot_length
+        r.slots_simulated += k
+        r.master_slots[plan.master] += k
+        r.handover_hops[0] += k
+        self.current_slot = slot + k
+        self._plan = dataclasses.replace(plan, transmit_slot=self.current_slot)
+        if self.profiler is not None:
+            self.profiler.count("fast_forwarded_slots", k)
+        return k
+
     def run(self, n_slots: int) -> SimulationReport:
         """Execute ``n_slots`` slots and return the accumulated report."""
         if n_slots < 0:
             raise ValueError(f"slot count must be non-negative, got {n_slots}")
-        for _ in range(n_slots):
-            self.step()
+        if not self.fast_forward:
+            for _ in range(n_slots):
+                self.step()
+            return self.report
+        end = self.current_slot + n_slots
+        while self.current_slot < end:
+            if not self._try_fast_forward(end):
+                self.step()
         return self.report

@@ -32,6 +32,7 @@ from repro.sim.engine import Simulation
 from repro.sim.fault_models import FaultConfig, FaultModel
 from repro.sim.faults import FaultInjector
 from repro.sim.metrics import SimulationReport
+from repro.sim.profiling import PhaseProfiler
 from repro.sim.trace import SlotTrace
 from repro.traffic.base import TrafficSource
 from repro.traffic.periodic import ConnectionSource
@@ -108,6 +109,8 @@ def build_simulation(
     faults: "FaultModel | FaultInjector | None" = None,
     loss_model=None,
     with_admission: bool = False,
+    fast_forward: bool = True,
+    profiler: "PhaseProfiler | None" = None,
 ) -> Simulation:
     """Assemble a ready-to-run simulation for a scenario.
 
@@ -142,6 +145,8 @@ def build_simulation(
         faults=faults,
         loss_model=loss_model,
         admission=admission,
+        fast_forward=fast_forward,
+        profiler=profiler,
     )
 
 
@@ -154,6 +159,8 @@ def run_scenario(
     faults: "FaultModel | FaultInjector | None" = None,
     loss_model=None,
     with_admission: bool = False,
+    fast_forward: bool = True,
+    profiler: "PhaseProfiler | None" = None,
 ) -> SimulationReport:
     """Build and run a scenario for ``n_slots`` slots."""
     sim = build_simulation(
@@ -164,5 +171,7 @@ def run_scenario(
         faults=faults,
         loss_model=loss_model,
         with_admission=with_admission,
+        fast_forward=fast_forward,
+        profiler=profiler,
     )
     return sim.run(n_slots)

@@ -29,6 +29,21 @@ class TrafficSource(ABC):
         ``created_slot == slot``.
         """
 
+    def next_release_slot(self, after: int) -> int | None:
+        """Earliest slot ``>= after`` at which this source *may* release.
+
+        Used by the engine's idle-slot fast-forward: slots strictly
+        before the returned value are guaranteed release-free and can be
+        skipped.  ``None`` means the source will never release again.
+
+        The default is the conservative ``after`` itself (no skip) --
+        correct for any source, and required for stochastic sources
+        whose release decision is an RNG draw *per slot* (skipping those
+        slots would skip the draws and change the sample path).
+        Deterministic sources override this with an exact answer.
+        """
+        return after
+
 
 class CompositeSource(TrafficSource):
     """Merges several sources attached to the same node."""
@@ -48,3 +63,13 @@ class CompositeSource(TrafficSource):
         for src in self.sources:
             out.extend(src.messages_for_slot(slot))
         return out
+
+    def next_release_slot(self, after: int) -> int | None:
+        earliest: int | None = None
+        for src in self.sources:
+            nxt = src.next_release_slot(after)
+            if nxt is None:
+                continue
+            if earliest is None or nxt < earliest:
+                earliest = nxt
+        return earliest

@@ -48,6 +48,16 @@ class ConnectionSource(TrafficSource):
             return [self.connection.release_message(slot)]
         return []
 
+    def next_release_slot(self, after: int) -> int | None:
+        """Exact next release: periodic sources are fully predictable."""
+        start = max(after, self.active_from)
+        if self.active_until is not None and start >= self.active_until:
+            return None
+        nxt = self.connection.next_release_at_or_after(start)
+        if self.active_until is not None and nxt >= self.active_until:
+            return None
+        return nxt
+
 
 def uunifast(rng: np.random.Generator, n: int, total_utilisation: float) -> list[float]:
     """Draw ``n`` utilisations summing to ``total_utilisation`` (UUniFast).

@@ -4,6 +4,11 @@
 process at slot granularity; :class:`BurstySource` is a two-state on/off
 (interrupted Bernoulli) process producing the bursty arrivals typical of
 best-effort LAN traffic.
+
+Both sources draw from their generator *once per slot*, so they keep the
+conservative :meth:`TrafficSource.next_release_slot` default (no slot is
+ever skippable): fast-forwarding past a slot would skip its RNG draw and
+change the sample path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,112 @@
+"""Idle-slot fast-forward must be invisible in the report.
+
+Property: for any mixed periodic/Poisson workload, a run with
+``fast_forward=True`` produces a :class:`SimulationReport` *equal* (full
+dataclass equality, floats included) to the same run stepped slot by
+slot.  Periodic sources advertise exact next-release slots, so idle
+stretches are skipped; Poisson sources keep the conservative default and
+suppress skipping entirely -- either way the report must not change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.priorities import TrafficClass
+from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.traffic.poisson import PoissonSource
+
+N_SLOTS = 300
+
+
+@st.composite
+def workloads(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=8))
+    n_conns = draw(st.integers(min_value=0, max_value=4))
+    conns = []
+    for _ in range(n_conns):
+        src = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=n_nodes - 1).filter(
+                lambda d, s=src: d != s
+            )
+        )
+        period = draw(st.integers(min_value=5, max_value=80))
+        phase = draw(st.integers(min_value=0, max_value=120))
+        conns.append(
+            LogicalRealTimeConnection(
+                source=src,
+                destinations=frozenset([dst]),
+                period_slots=period,
+                size_slots=1,
+                phase_slots=phase,
+            )
+        )
+    poisson_rate = draw(
+        st.sampled_from([0.0, 0.0, 0.01, 0.1])
+    )  # mostly periodic-only, so skipping actually happens
+    poisson_seed = draw(st.integers(min_value=0, max_value=2**16))
+    drop_late = draw(st.booleans())
+    return n_nodes, tuple(conns), poisson_rate, poisson_seed, drop_late
+
+
+def _build(workload, fast_forward: bool):
+    n_nodes, conns, poisson_rate, poisson_seed, drop_late = workload
+    config = ScenarioConfig(
+        n_nodes=n_nodes,
+        protocol="ccr-edf",
+        connections=conns,
+        drop_late=drop_late,
+    )
+    extra = []
+    if poisson_rate > 0:
+        extra.append(
+            PoissonSource(
+                node=0,
+                n_nodes=n_nodes,
+                rate_per_slot=poisson_rate,
+                traffic_class=TrafficClass.BEST_EFFORT,
+                relative_deadline_slots=40,
+                rng=np.random.default_rng(poisson_seed),
+            )
+        )
+    return build_simulation(
+        config, extra_sources=extra, fast_forward=fast_forward
+    )
+
+
+class TestFastForwardEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_report_equals_slot_by_slot(self, workload):
+        fast = _build(workload, fast_forward=True).run(N_SLOTS)
+        slow = _build(workload, fast_forward=False).run(N_SLOTS)
+        assert fast == slow
+
+    def test_fast_forward_enabled_for_edf(self):
+        sim = _build((4, (), 0.0, 0, False), fast_forward=True)
+        assert sim.fast_forward
+
+    def test_fast_forward_disabled_for_rotating_masters(self):
+        config = ScenarioConfig(n_nodes=4, protocol="tdma")
+        sim = build_simulation(config, fast_forward=True)
+        assert not sim.fast_forward
+
+    def test_idle_ring_skips_to_end(self):
+        conn = LogicalRealTimeConnection(
+            source=0,
+            destinations=frozenset([1]),
+            period_slots=10_000,
+            size_slots=1,
+            phase_slots=9_000,
+        )
+        config = ScenarioConfig(n_nodes=4, connections=(conn,))
+        sim = build_simulation(config)
+        report = sim.run(500)
+        assert report.slots_simulated == 500
+        # Master never moved; every slot kept the clock with zero gap.
+        assert report.handover_hops == {0: 500}
+        assert report.gap_time_s == 0.0

@@ -1,0 +1,135 @@
+"""Parallel replication must be bit-identical to the serial path.
+
+The contract of :mod:`repro.sim.parallel` is strong: same master seed =>
+byte-for-byte the same :class:`MetricSummary` values, regardless of how
+many worker processes evaluated the replications.  The scenario used here
+is deliberately stochastic end to end -- random connection set, Poisson
+best-effort cross-traffic, and a stochastic fault model -- so any
+divergence in seeding, merge order, or float accumulation would show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priorities import TrafficClass
+from repro.sim.batch import AVAILABILITY_METRICS, replicate
+from repro.sim.fault_models import FaultConfig
+from repro.sim.parallel import replicate_parallel, resolve_jobs
+from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.traffic.periodic import random_connection_set
+from repro.traffic.poisson import PoissonSource
+from repro.traffic.sweeps import scale_connections_to_utilisation
+
+N_NODES = 8
+N_SLOTS = 1500
+
+
+def _build_faulty_scenario(rng: np.random.Generator):
+    """Module-level builder: picklable into worker processes."""
+    conns = random_connection_set(
+        rng,
+        n_nodes=N_NODES,
+        n_connections=8,
+        total_utilisation=0.5,
+        period_range=(10, 100),
+    )
+    conns = scale_connections_to_utilisation(conns, 0.5)
+    config = ScenarioConfig(
+        n_nodes=N_NODES,
+        protocol="ccr-edf",
+        connections=tuple(conns),
+        fault_config=FaultConfig(
+            node_mttf_slots=400.0,
+            node_mttr_slots=60.0,
+            p_collection_loss=0.002,
+            p_distribution_loss=0.002,
+            seed=int(rng.integers(2**31)),
+        ),
+    )
+    extra = [
+        PoissonSource(
+            node=1,
+            n_nodes=N_NODES,
+            rate_per_slot=0.05,
+            traffic_class=TrafficClass.BEST_EFFORT,
+            relative_deadline_slots=50,
+            rng=rng,
+        )
+    ]
+    return build_simulation(config, extra_sources=extra)
+
+
+METRICS = dict(AVAILABILITY_METRICS)
+
+
+class TestParallelBitIdentity:
+    def test_four_jobs_bit_identical_to_serial(self):
+        serial = replicate(
+            _build_faulty_scenario,
+            n_slots=N_SLOTS,
+            metrics=METRICS,
+            n_replications=6,
+            master_seed=42,
+        )
+        parallel = replicate(
+            _build_faulty_scenario,
+            n_slots=N_SLOTS,
+            metrics=METRICS,
+            n_replications=6,
+            master_seed=42,
+            n_jobs=4,
+        )
+        for name in METRICS:
+            assert parallel[name].values == serial[name].values, name
+
+    def test_reports_match_in_seed_order(self):
+        serial = replicate(
+            _build_faulty_scenario,
+            n_slots=N_SLOTS,
+            metrics=METRICS,
+            n_replications=4,
+            master_seed=7,
+        )
+        parallel = replicate_parallel(
+            _build_faulty_scenario,
+            n_slots=N_SLOTS,
+            metrics=METRICS,
+            n_replications=4,
+            master_seed=7,
+            n_jobs=2,
+        )
+        for a, b in zip(serial.reports, parallel.reports):
+            assert a.slots_simulated == b.slots_simulated
+            assert a.wall_time_s == b.wall_time_s
+            assert a.packets_sent == b.packets_sent
+            assert a.availability == b.availability
+            assert (
+                a.availability_stats.fault_events
+                == b.availability_stats.fault_events
+            )
+            for tc in TrafficClass:
+                sa, sb = a.class_stats(tc), b.class_stats(tc)
+                assert sa.released == sb.released
+                assert sa.deadline_missed == sb.deadline_missed
+                assert sa.latencies_slots == sb.latencies_slots
+
+
+class TestParallelValidation:
+    def test_rejects_zero_replications(self):
+        with pytest.raises(ValueError, match="at least one replication"):
+            replicate_parallel(
+                _build_faulty_scenario, 10, METRICS, n_replications=0
+            )
+
+    def test_rejects_empty_metrics(self):
+        with pytest.raises(ValueError, match="no metrics"):
+            replicate_parallel(
+                _build_faulty_scenario, 10, {}, n_replications=2
+            )
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) >= 1
