@@ -32,8 +32,16 @@ def _loaded_config(n_nodes, utilisation, seed=1):
     return ScenarioConfig(n_nodes=n_nodes, connections=tuple(conns))
 
 
-def _measure(benchmark, perf_record, name, make_sim, warmup_slots=0):
-    """Benchmark ``sim.run(SLOTS)`` with construction in untimed setup."""
+def _measure(
+    benchmark,
+    perf_record,
+    name,
+    make_sim,
+    warmup_slots=0,
+    rounds=ROUNDS,
+    slots=SLOTS,
+):
+    """Benchmark ``sim.run(slots)`` with construction in untimed setup."""
 
     def setup():
         sim = make_sim()
@@ -42,15 +50,15 @@ def _measure(benchmark, perf_record, name, make_sim, warmup_slots=0):
         return (sim,), {}
 
     def run(sim):
-        sim.run(SLOTS)
+        sim.run(slots)
         return sim.report
 
     report = benchmark.pedantic(
-        run, setup=setup, rounds=ROUNDS, iterations=1, warmup_rounds=0
+        run, setup=setup, rounds=rounds, iterations=1, warmup_rounds=0
     )
-    mean = benchmark.stats.stats.mean
-    benchmark.extra_info["slots_per_s"] = SLOTS / mean
-    perf_record(name, SLOTS, mean)
+    stats = benchmark.stats.stats
+    benchmark.extra_info["slots_per_s"] = slots / stats.mean
+    perf_record(name, slots, stats.mean, min_seconds=stats.min)
     return report
 
 
@@ -63,6 +71,105 @@ def test_perf_loaded_ring_n8(benchmark, perf_record):
         lambda: build_simulation(config),
     )
     assert report.packets_sent > 0
+
+
+def _events_sim(config, tmp_path, counter=iter(range(100_000))):
+    from repro.obs.events import EventDispatcher, JsonlEventLog
+
+    observer = EventDispatcher()
+    observer.add_sink(
+        JsonlEventLog(tmp_path / f"events-{next(counter)}.jsonl")
+    )
+    return build_simulation(config, observer=observer)
+
+
+def test_perf_loaded_ring_n8_events(benchmark, perf_record, tmp_path):
+    """Worst case for ``--events``: a loaded ring streams ~1.5 events
+    per slot (slot + hand-over + arbitration), all lazily serialised at
+    flush time.  Documents the on-cost ceiling (~20% of a pure-Python
+    slot loop); regressions are caught by the ordinary 30% gate against
+    the committed baseline, like every other scenario here.
+    """
+    config = _loaded_config(8, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n8_events",
+        lambda: _events_sim(config, tmp_path),
+    )
+    assert report.packets_sent > 0
+
+
+def _sparse_config():
+    from repro.core.connection import LogicalRealTimeConnection
+
+    # One message every 1000 slots: almost all wall time is idle
+    # fast-forward, so the events side's per-active-slot cost is noise
+    # and the only thing that can trip the overhead gate is losing
+    # fast-forward itself (a ~40x blowup).
+    return ScenarioConfig(
+        n_nodes=8,
+        connections=(
+            LogicalRealTimeConnection(
+                source=0,
+                destinations=frozenset({2}),
+                period_slots=1000,
+                size_slots=1,
+                connection_id=0,
+            ),
+        ),
+    )
+
+
+def test_perf_sparse_ring_fast_forward_events_pair(
+    benchmark, perf_record, tmp_path
+):
+    """Sparse ring with and without ``--events``: the <10% CI gate pair.
+
+    ``check_events_overhead.py`` compares the two scenarios this test
+    records (``sparse_ring_fast_forward`` and ``..._events``).  The pair
+    guards the tentpole invariant that streaming sinks do NOT disable
+    idle fast-forward (spans stand in for skipped slots): if a change
+    ever forces slot-by-slot stepping under a sink, the events side
+    slows by ~40x and the gate trips deterministically, while genuine
+    streaming costs only a few percent here.
+
+    Both sides are timed in the SAME test, interleaved round by round
+    with ``time.perf_counter``, because a ratio between two benchmarks
+    run minutes apart is at the mercy of shared-runner load drift --
+    interleaving makes every noise burst hit both sides equally.  The
+    pedantic wrapper only drives the rounds; its own timing (the pair
+    combined) is not recorded.
+    """
+    import time
+
+    config = _sparse_config()
+    n_slots = 20 * SLOTS
+    times: dict[str, list[float]] = {"base": [], "events": []}
+
+    def run_pair():
+        sim = build_simulation(config)
+        t0 = time.perf_counter()
+        sim.run(n_slots)
+        times["base"].append(time.perf_counter() - t0)
+        assert sim.fast_forward, "streaming sinks must not disable ff"
+        sim = _events_sim(config, tmp_path)
+        t0 = time.perf_counter()
+        sim.run(n_slots)
+        times["events"].append(time.perf_counter() - t0)
+        assert sim.fast_forward, "streaming sinks must not disable ff"
+
+    benchmark.pedantic(run_pair, rounds=12, iterations=1, warmup_rounds=1)
+    for name, series in (
+        ("sparse_ring_fast_forward", times["base"]),
+        ("sparse_ring_fast_forward_events", times["events"]),
+    ):
+        perf_record(
+            name,
+            n_slots,
+            sum(series) / len(series),
+            min_seconds=min(series),
+        )
 
 
 def test_perf_loaded_ring_n8_hot_cache(benchmark, perf_record):

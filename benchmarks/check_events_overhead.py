@@ -1,0 +1,101 @@
+"""Gate the overhead of ``--events`` streaming from one BENCH_perf.json.
+
+Usage::
+
+    python benchmarks/check_events_overhead.py BENCH_perf.json \
+        [--tolerance 0.10] [--baseline sparse_ring_fast_forward] \
+        [--events sparse_ring_fast_forward_events]
+
+Compares the slots/sec of the events-streaming scenario against its
+observability-off twin *from the same benchmark run*, so machine speed
+cancels out and the ratio isolates the cost of event emission.  Exit
+codes: ``0`` = overhead within tolerance (or either scenario missing --
+soft-fail so partial bench runs do not break), ``1`` = events streaming
+slowed the simulator by more than the tolerance, ``2`` = bad invocation.
+
+The default pair is the sparse fast-forwarding ring: it streams slot
+and fast-forward-span events yet costs only a few percent, and it
+guards the core invariant that streaming sinks never disable idle
+fast-forward -- a regression there slows the scenario ~40x and trips
+this gate deterministically.  Both scenarios are timed interleaved
+within a single benchmark test, so load drift on a shared runner hits
+both sides equally.  The *worst-case* on-cost (a fully
+loaded ring, ~1.5 events/slot) is recorded as ``loaded_ring_n8_events``
+and bounded run-over-run by ``check_perf_regression.py``'s 30% gate
+instead, because its honest overhead (~20% of a pure-Python slot loop)
+sits above any tight within-run gate.
+
+This is deliberately a separate check from ``check_perf_regression.py``:
+that one compares *runs over time* (current vs committed baseline, 30%
+noise tolerance); this one compares *scenarios within a run*, where the
+shared-runner noise mostly cancels and a tight 10% gate is meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def overhead(results: dict, baseline: str, events: str) -> float | None:
+    """Fractional slowdown of ``events`` vs ``baseline`` (None if absent).
+
+    Prefers the best-round rate (``slots_per_s_best``) when both sides
+    recorded one: a single scheduler hiccup in either scenario's rounds
+    would dominate a mean-based ratio on a shared runner, while the best
+    round of each side is what the machine can actually do.
+    """
+    if baseline not in results or events not in results:
+        return None
+    key = (
+        "slots_per_s_best"
+        if "slots_per_s_best" in results[baseline]
+        and "slots_per_s_best" in results[events]
+        else "slots_per_s"
+    )
+    base = float(results[baseline][key])
+    with_events = float(results[events][key])
+    if base <= 0:
+        return None
+    return 1.0 - with_events / base
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--baseline", default="sparse_ring_fast_forward")
+    parser.add_argument(
+        "--events", default="sparse_ring_fast_forward_events"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"no results file at {args.results}; skipping", file=sys.stderr)
+        return 0
+    results = json.loads(args.results.read_text())
+    slowdown = overhead(results, args.baseline, args.events)
+    if slowdown is None:
+        print(
+            f"need both {args.baseline!r} and {args.events!r} in "
+            f"{args.results}; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    print(
+        f"--events overhead: {slowdown:+.1%} "
+        f"({args.baseline} -> {args.events}, gate {args.tolerance:.0%})"
+    )
+    if slowdown > args.tolerance:
+        print(
+            f"FAIL: event streaming costs more than {args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

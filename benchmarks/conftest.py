@@ -53,12 +53,22 @@ def perf_record():
     experiment-only bench invocations never clobber the baseline.
     """
 
-    def record(name: str, slots: int, mean_seconds: float) -> None:
+    def record(
+        name: str,
+        slots: int,
+        mean_seconds: float,
+        min_seconds: float | None = None,
+    ) -> None:
         _perf_results[name] = {
             "slots": slots,
             "seconds_per_round": mean_seconds,
             "slots_per_s": slots / mean_seconds,
         }
+        if min_seconds is not None:
+            # Best-round rate: the noise-robust estimator used for
+            # *within-run* comparisons (check_events_overhead.py), where
+            # one slow outlier round would otherwise dominate the ratio.
+            _perf_results[name]["slots_per_s_best"] = slots / min_seconds
 
     yield record
     if _perf_results:

@@ -9,12 +9,16 @@ Three subcommands cover the common workflows without writing a script:
 * ``compare``  -- run the identical workload on every protocol and print
   a side-by-side table (the S1-style experiment, one command);
 * ``analyze``  -- admission-test a set of (period, size) connection specs
-  and print per-connection worst-case response times and headroom.
+  and print per-connection worst-case response times and headroom;
+* ``inspect``  -- replay a JSONL event log (``simulate --events``) and
+  print its reconstructed totals.
 
 Examples::
 
     python -m repro info --nodes 16 --link-length 50
     python -m repro simulate --nodes 8 --utilisation 0.8 --slots 50000
+    python -m repro simulate --nodes 8 --events run.jsonl --manifest
+    python -m repro inspect run.jsonl
     python -m repro compare --nodes 8 --utilisation 0.9 --seed 7
     python -m repro analyze --nodes 8 --spec 10:2 --spec 25:5
 """
@@ -303,15 +307,42 @@ _REPLICATION_METRICS = {
 }
 
 
+def _manifest_destination(args: argparse.Namespace):
+    """Where ``--manifest`` should land (None when not requested)."""
+    if args.manifest is None:
+        return None
+    from pathlib import Path
+
+    from repro.obs.manifest import manifest_path_for
+
+    if args.manifest:
+        return Path(args.manifest)
+    if args.events:
+        return manifest_path_for(args.events)
+    return Path("run.manifest.json")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """The `simulate` subcommand: one protocol, one workload."""
+    import time as _time
+
+    manifest_path = _manifest_destination(args)
     if args.replications > 1:
+        if args.events or args.trace:
+            print(
+                "--events and --trace record one run; they cannot be "
+                "combined with --replications > 1",
+                file=sys.stderr,
+            )
+            return 2
         from functools import partial
 
+        from repro.obs.manifest import RunManifest
         from repro.sim.batch import replicate
 
         print(f"replicating: {args.replications} seeds from master seed "
               f"{args.seed}, {args.jobs if args.jobs != 1 else 1} job(s)")
+        t0 = _time.perf_counter()
         result = replicate(
             partial(_build_replication, args),
             n_slots=args.slots,
@@ -319,12 +350,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             n_replications=args.replications,
             master_seed=args.seed,
             n_jobs=args.jobs,
+            collect_registry=manifest_path is not None,
         )
+        elapsed = _time.perf_counter() - t0
         print(f"protocol            : {args.protocol}")
         for name, summary in result.metrics.items():
             lo, hi = summary.confidence_interval()
             print(f"  {name:20s}: {summary.mean:.4f} "
                   f"(95% CI [{lo:.4f}, {hi:.4f}], n={summary.n})")
+        if manifest_path is not None:
+            manifest = RunManifest.collect(
+                master_seed=args.seed,
+                n_slots=args.slots,
+                registry=result.registry,
+                elapsed_s=elapsed,
+                extra={
+                    "argv": list(sys.argv),
+                    "replications": args.replications,
+                    "metrics": {
+                        name: s.mean for name, s in result.metrics.items()
+                    },
+                },
+            )
+            manifest.write(manifest_path)
+            print(f"manifest written    : {manifest_path}")
         return 0
 
     config = _build_config(args, args.protocol)
@@ -336,11 +385,75 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.sim.profiling import PhaseProfiler
 
         profiler = PhaseProfiler()
-    report = run_scenario(config, n_slots=args.slots, profiler=profiler)
+    observer = None
+    event_log = None
+    if args.events:
+        from repro.obs.events import EventDispatcher, JsonlEventLog
+
+        observer = EventDispatcher()
+        event_log = observer.add_sink(JsonlEventLog(args.events))
+    trace = None
+    if args.trace:
+        from repro.sim.trace import SlotTrace
+
+        trace = SlotTrace(max_records=args.trace_max)
+    t0 = _time.perf_counter()
+    report = run_scenario(
+        config,
+        n_slots=args.slots,
+        profiler=profiler,
+        trace=trace,
+        observer=observer,
+    )
+    elapsed = _time.perf_counter() - t0
+    if observer is not None:
+        observer.close()
     _print_report(args.protocol, report)
+    if event_log is not None:
+        print(f"event log           : {args.events} "
+              f"({event_log.events_written} events)")
+    if trace is not None:
+        print(f"trace               : {len(trace.records)} slot records")
+        if trace.truncated:
+            print(
+                f"warning: trace truncated at {trace.max_records} records; "
+                f"{trace.dropped} later slot records were dropped "
+                f"(raise --trace-max, or stream with --events instead)",
+                file=sys.stderr,
+            )
+    if manifest_path is not None:
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest.collect(
+            scenario=config,
+            master_seed=args.seed,
+            n_slots=args.slots,
+            report=report,
+            profiler=profiler,
+            elapsed_s=elapsed,
+            extra={"argv": list(sys.argv), "events": args.events or None},
+        )
+        manifest.write(manifest_path)
+        print(f"manifest written    : {manifest_path}")
     if profiler is not None:
         print("\nslot-loop phase profile:")
         print(profiler.format_table())
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """The `inspect` subcommand: replay an event log into totals."""
+    from repro.obs.replay import format_summary, summarise_log
+
+    try:
+        summary = summarise_log(args.events)
+    except FileNotFoundError:
+        print(f"no such event log: {args.events}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"cannot replay {args.events}: {exc}", file=sys.stderr)
+        return 2
+    print(format_summary(summary))
     return 0
 
 
@@ -488,6 +601,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="time the slot loop per phase and print the table",
     )
+    p_sim.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream typed events (slots, faults, recoveries, ...) to a "
+        "JSONL log at PATH; replay it with `repro inspect`",
+    )
+    p_sim.add_argument(
+        "--manifest",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="write a run manifest (scenario, seed, versions, host, "
+        "profile) as JSON; with no PATH it lands next to --events "
+        "(<events>.manifest.json) or at run.manifest.json",
+    )
+    p_sim.add_argument(
+        "--trace",
+        action="store_true",
+        help="keep an in-memory per-slot trace (disables the idle "
+        "fast-forward; see --trace-max)",
+    )
+    p_sim.add_argument(
+        "--trace-max",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="slot records the trace retains before truncating "
+        "(default 100000); a warning reports any dropped records",
+    )
     _add_fault_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
@@ -511,6 +655,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="connection spec in slots (repeatable), e.g. --spec 10:2",
     )
     p_ana.set_defaults(func=cmd_analyze)
+
+    p_ins = sub.add_parser(
+        "inspect",
+        help="replay a JSONL event log and print reconstructed totals",
+    )
+    p_ins.add_argument(
+        "events", metavar="EVENTS_JSONL", help="event log written by "
+        "`simulate --events`",
+    )
+    p_ins.set_defaults(func=cmd_inspect)
 
     return parser
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.timing import NetworkTiming
+from repro.obs.events import AdmissionDecided
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +56,25 @@ class AdmissionController:
         self.timing = timing
         self._accepted: dict[int, LogicalRealTimeConnection] = {}
         self._suspended: dict[int, LogicalRealTimeConnection] = {}
+        #: Optional :class:`~repro.obs.events.EventDispatcher`; set by the
+        #: simulator when observability is on.
+        self.observer = None
+        #: Slot the simulator is processing (stamped each fault-handling
+        #: step so admission events carry it); ``None`` outside a run.
+        self.current_slot: int | None = None
+
+    def _emit_decision(self, decision: AdmissionDecision, phase: str) -> None:
+        if self.observer is not None:
+            self.observer.emit(
+                AdmissionDecided(
+                    slot=self.current_slot,
+                    connection_id=decision.connection.connection_id,
+                    accepted=decision.accepted,
+                    phase=phase,
+                    utilisation_with=decision.utilisation_with,
+                    u_max=decision.u_max,
+                )
+            )
 
     # ------------------------------------------------------------------
 
@@ -92,13 +112,15 @@ class AdmissionController:
         accepted = with_new <= self.u_max
         if accepted:
             self._accepted[connection.connection_id] = connection
-        return AdmissionDecision(
+        decision = AdmissionDecision(
             accepted=accepted,
             connection=connection,
             utilisation_before=before,
             utilisation_with=with_new,
             u_max=self.u_max,
         )
+        self._emit_decision(decision, "request")
+        return decision
 
     def remove(self, connection_id: int) -> LogicalRealTimeConnection:
         """Remove a connection (runtime tear-down), returning it.
@@ -161,13 +183,15 @@ class AdmissionController:
         if accepted:
             del self._suspended[connection_id]
             self._accepted[connection_id] = conn
-        return AdmissionDecision(
+        decision = AdmissionDecision(
             accepted=accepted,
             connection=conn,
             utilisation_before=before,
             utilisation_with=with_new,
             u_max=self.u_max,
         )
+        self._emit_decision(decision, "resume")
+        return decision
 
     def suspend_node(self, node: int) -> tuple[int, ...]:
         """Suspend every admitted connection sourced at ``node``."""

@@ -29,6 +29,7 @@ from repro.core.mapping import LaxityMapping, LogarithmicMapping
 from repro.core.messages import Message, MessageStatus
 from repro.core.priorities import PRIO_NON_REAL_TIME, TrafficClass
 from repro.core.queues import NodeQueues
+from repro.obs.events import ArbitrationDenied
 from repro.phy.packets import CollectionPacket, CollectionRequest, DistributionPacket
 from repro.ring.segments import links_for_multicast
 from repro.ring.topology import RingTopology
@@ -90,6 +91,10 @@ class MacProtocol(ABC):
 
     def __init__(self, topology: RingTopology):
         self.topology = topology
+        #: Optional :class:`~repro.obs.events.EventDispatcher`; set by the
+        #: simulator when observability is on.  Protocols may emit typed
+        #: events (e.g. arbitration denials) through it.
+        self.observer = None
         # Identity of the last queue mapping that passed the coverage
         # check: the simulator hands the same mapping object to every
         # slot, so validating it once (instead of rebuilding two sets per
@@ -359,6 +364,14 @@ class CcrEdfProtocol(MacProtocol):
         if self.trace_packets:
             assert packet is not None
             distribution = self.arbiter.build_distribution_packet(packet, result)
+
+        if denied and self.observer is not None:
+            self.observer.emit(
+                ArbitrationDenied(
+                    slot=current_slot + 1,
+                    nodes=tuple(tx.node for tx in denied),
+                )
+            )
 
         return SlotPlan(
             transmit_slot=current_slot + 1,

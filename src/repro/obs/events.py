@@ -1,0 +1,544 @@
+"""Typed observability events, sinks, and the engine-facing dispatcher.
+
+Event taxonomy (one dataclass per kind; the ``kind`` field is the JSONL
+discriminator):
+
+=================  ====================================================
+kind               meaning
+=================  ====================================================
+``run_header``     first line of a log: ring size, protocol, versions
+``slot``           one executed slot (master, gap, transmissions, and
+                   the slot's released/delivered/missed/dropped counts)
+``handover``       the clock moved to a different master (hop distance)
+``fast_forward``   a span of provably idle slots skipped in one step
+``fault``          one injected fault occurrence (collection loss,
+                   distribution loss, clock glitch)
+``recovery``       a designated-node timeout takeover
+``node_down``      a node fail-stop transition
+``node_up``        a node repair/rejoin (with its purge count)
+``admission``      an admission-control decision (request or resume)
+``arbitration``    an arbitration round that denied requests at the
+                   clock break (emitted by the MAC protocol itself)
+=================  ====================================================
+
+Sinks implement :class:`EventSink`; :class:`JsonlEventLog` streams every
+event to disk as one JSON object per line (so a million-slot run costs
+disk, not memory) and :class:`BoundedEventRing` keeps the last ``N``
+events in memory.  :class:`EventDispatcher` fans one emission out to all
+sinks and to any subscribed :class:`~repro.sim.trace.SlotTrace`.
+
+This module deliberately imports nothing from the rest of the package:
+events carry plain ints/floats/tuples, so the observability layer can
+never perturb -- or depend on -- simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+
+class _Event:
+    """Base class: ``kind`` discriminator plus dict/JSON conversion."""
+
+    kind: str = ""
+    #: Per-class field-name cache (``dataclasses.fields`` is too slow to
+    #: call per event on hot paths).
+    _names: tuple[str, ...] | None = None
+
+    def to_dict(self) -> dict:
+        """The event as a JSON-ready dict (``kind`` first)."""
+        cls = type(self)
+        names = cls._names
+        if names is None:
+            names = cls._names = tuple(
+                f.name for f in fields(self)  # type: ignore[arg-type]
+            )
+        out: dict = {"kind": self.kind}
+        for name in names:
+            out[name] = getattr(self, name)
+        return out
+
+    def to_json(self) -> str:
+        """The event as one compact JSON line (no trailing newline)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+
+@dataclass(frozen=True, slots=True)
+class RunHeader(_Event):
+    """First event of a log: enough context to interpret what follows."""
+
+    n_nodes: int
+    protocol: str
+    slot_length_s: float
+    package_version: str
+
+    kind = "run_header"
+
+
+# Floats repeat heavily on a ring (the hand-over gap takes one of a few
+# values per topology), and ``repr(float)`` is a surprisingly large slice
+# of per-slot emission cost -- memoise it.  Bounded so a pathological
+# stream of distinct floats cannot grow it without limit.
+_float_reprs: dict[float, str] = {}
+
+
+def _frepr(value: float) -> str:
+    """Memoised ``repr`` for the small set of recurring gap values."""
+    cached = _float_reprs.get(value)
+    if cached is None:
+        if len(_float_reprs) > 1024:
+            _float_reprs.clear()
+        cached = _float_reprs[value] = repr(value)
+    return cached
+
+
+@dataclass(slots=True)
+class SlotExecuted(_Event):
+    """One executed slot.
+
+    The four counters are this slot's *deltas* of the run totals, so
+    summing them over a whole log reconstructs the report's
+    released/delivered/missed/dropped totals exactly
+    (:func:`repro.obs.replay.replay_events` does, and a test asserts it).
+
+    Deliberately *not* frozen: this is the one-per-slot hot event, and a
+    frozen dataclass pays ``object.__setattr__`` per field on every
+    construction (~7x slower).  Treat instances as immutable anyway.
+    """
+
+    slot: int
+    master: int
+    gap_s: float
+    #: ``(node, message id)`` pairs that transmitted this slot.
+    transmitted: tuple[tuple[int, int], ...]
+    n_requests: int
+    released: int
+    delivered: int
+    missed: int
+    dropped: int
+
+    kind = "slot"
+
+    def to_json(self) -> str:
+        """Hand-rolled JSON line: this is the only per-slot hot event.
+
+        Zero-valued counters and empty transmission lists are omitted
+        (replay reads them back with ``.get(..., 0)``), keeping logs of
+        mostly idle slots small and emission cheap.  Straight string
+        concatenation beats a parts list + join here, and the gap repr
+        comes from the :func:`_frepr` cache.
+        """
+        out = f'{{"kind":"slot","slot":{self.slot},"master":{self.master}'
+        if self.gap_s:
+            out += ',"gap_s":' + _frepr(self.gap_s)
+        if self.transmitted:
+            txs = ",".join(f"[{n},{m}]" for n, m in self.transmitted)
+            out += f',"transmitted":[{txs}]'
+        if self.n_requests:
+            out += f',"n_requests":{self.n_requests}'
+        if self.released:
+            out += f',"released":{self.released}'
+        if self.delivered:
+            out += f',"delivered":{self.delivered}'
+        if self.missed:
+            out += f',"missed":{self.missed}'
+        if self.dropped:
+            out += f',"dropped":{self.dropped}'
+        return out + "}"
+
+
+@dataclass(slots=True)
+class HandoverOccurred(_Event):
+    """The clock moved: ``hops`` link delays of hand-over gap preceded
+    ``slot``.  Not frozen for the same hot-path reason as
+    :class:`SlotExecuted` (hand-overs happen most slots on a loaded
+    ring); treat as immutable."""
+
+    slot: int
+    from_node: int
+    to_node: int
+    hops: int
+    gap_s: float
+
+    kind = "handover"
+
+    def to_json(self) -> str:
+        return (
+            f'{{"kind":"handover","slot":{self.slot}'
+            f',"from_node":{self.from_node},"to_node":{self.to_node}'
+            f',"hops":{self.hops},"gap_s":'
+        ) + _frepr(self.gap_s) + "}"
+
+
+@dataclass(frozen=True, slots=True)
+class FastForwardSpan(_Event):
+    """A run of provably idle slots ``[slot_start, slot_end)`` skipped in
+    one step; each skipped slot repeated ``master`` with a zero gap."""
+
+    slot_start: int
+    slot_end: int
+    n_slots: int
+    master: int
+
+    kind = "fast_forward"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(_Event):
+    """One injected fault occurrence; ``fault`` matches the kinds of
+    :attr:`~repro.sim.metrics.AvailabilityStats.fault_events`."""
+
+    slot: int
+    fault: str
+
+    kind = "fault"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryPerformed(_Event):
+    """A designated-node takeover after the (backed-off) timeout."""
+
+    slot: int
+    designated_node: int
+    timeout_s: float
+    #: 0-based consecutive-attempt index (drives the backoff).
+    attempt: int
+
+    kind = "recovery"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailed(_Event):
+    """A node fail-stop transition (counts as a ``node_failure`` fault)."""
+
+    slot: int
+    node: int
+
+    kind = "node_down"
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRejoined(_Event):
+    """A node repair/rejoin; ``purged`` stale messages were dropped."""
+
+    slot: int
+    node: int
+    purged: int
+
+    kind = "node_up"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecided(_Event):
+    """One admission-control decision (initial request or post-rejoin
+    resume).  ``slot`` is ``None`` for decisions taken outside a run."""
+
+    slot: int | None
+    connection_id: int
+    accepted: bool
+    #: ``"request"`` for a new connection, ``"resume"`` after a rejoin.
+    phase: str
+    utilisation_with: float
+    u_max: float
+
+    kind = "admission"
+
+
+@dataclass(slots=True)
+class ArbitrationDenied(_Event):
+    """An arbitration round denied requests at the clock break (emitted
+    by the MAC protocol; ``slot`` is the slot the plan was for).  Not
+    frozen -- per-slot under contention; treat as immutable."""
+
+    slot: int
+    nodes: tuple[int, ...]
+
+    kind = "arbitration"
+
+    def to_json(self) -> str:
+        """Hand-rolled: denials are per-slot events under contention."""
+        nodes = ",".join(map(str, self.nodes))
+        return (
+            f'{{"kind":"arbitration","slot":{self.slot},"nodes":[{nodes}]}}'
+        )
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+class EventSink:
+    """Destination for a stream of events.  Subclasses override
+    :meth:`emit` (and usually :meth:`close`); :meth:`emit_slot` has a
+    default implementation and only performance-critical sinks need
+    their own."""
+
+    def emit(self, event: _Event) -> None:
+        """Consume one event."""
+        raise NotImplementedError
+
+    def emit_slot(
+        self,
+        outcome,
+        n_requests: int,
+        released: int,
+        delivered: int,
+        missed: int,
+        dropped: int,
+    ) -> None:
+        """Consume one executed slot, given the engine's raw outcome.
+
+        This is the once-per-slot hot call, so the dispatcher hands the
+        slot over in engine terms and lets each sink decide how much
+        work to do: the default builds a :class:`SlotExecuted` and
+        funnels it through :meth:`emit`; :class:`JsonlEventLog`
+        overrides it to defer even that until flush time.
+        """
+        self.emit(
+            SlotExecuted(
+                slot=outcome.slot,
+                master=outcome.master,
+                gap_s=outcome.gap_s,
+                transmitted=tuple(
+                    (tx.node, tx.message.msg_id)
+                    for tx in outcome.transmitted
+                ),
+                n_requests=n_requests,
+                released=released,
+                delivered=delivered,
+                missed=missed,
+                dropped=dropped,
+            )
+        )
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class JsonlEventLog(EventSink):
+    """Streams events to disk, one JSON object per line.
+
+    Emission is deliberately lazy: :meth:`emit` only appends the event
+    object to a buffer (events are immutable-by-convention, so holding a
+    reference is safe) and serialisation happens in one tight loop per
+    :meth:`flush` batch.  Running ``to_json`` back-to-back over a batch
+    is several times faster than calling it cold at each emission site
+    inside the simulator's slot loop, and it keeps the per-event cost on
+    the hot path to a list append.  Use as a context manager, or call
+    :meth:`close` when the run ends.
+    """
+
+    def __init__(self, path: str | Path, buffer_lines: int = 1024):
+        if buffer_lines < 1:
+            raise ValueError(f"buffer_lines must be >= 1, got {buffer_lines}")
+        self.path = Path(path)
+        self.buffer_lines = buffer_lines
+        self.events_written = 0
+        self._buffer: list[_Event] = []
+        self._fh = self.path.open("w")
+
+    def emit(self, event: _Event) -> None:
+        """Buffer one event (serialised later, in :meth:`flush`)."""
+        buffer = self._buffer
+        buffer.append(event)
+        self.events_written += 1
+        if len(buffer) >= self.buffer_lines:
+            self.flush()
+
+    def emit_slot(
+        self,
+        outcome,
+        n_requests: int,
+        released: int,
+        delivered: int,
+        missed: int,
+        dropped: int,
+    ) -> None:
+        """Buffer one executed slot as raw engine references.
+
+        No :class:`SlotExecuted` is built on the hot path at all -- just
+        a tuple append; :meth:`flush` formats the line straight from the
+        outcome (whose fields are stable once the slot has executed).
+        """
+        buffer = self._buffer
+        buffer.append((outcome, n_requests, released, delivered, missed,
+                       dropped))
+        self.events_written += 1
+        if len(buffer) >= self.buffer_lines:
+            self.flush()
+
+    @staticmethod
+    def _slot_line(entry: tuple) -> str:
+        """One buffered slot tuple as the ``kind="slot"`` JSON line
+        (same format as :meth:`SlotExecuted.to_json`)."""
+        outcome, n_requests, released, delivered, missed, dropped = entry
+        out = (
+            f'{{"kind":"slot","slot":{outcome.slot}'
+            f',"master":{outcome.master}'
+        )
+        if outcome.gap_s:
+            out += ',"gap_s":' + _frepr(outcome.gap_s)
+        if outcome.transmitted:
+            txs = ",".join(
+                f"[{tx.node},{tx.message.msg_id}]"
+                for tx in outcome.transmitted
+            )
+            out += f',"transmitted":[{txs}]'
+        if n_requests:
+            out += f',"n_requests":{n_requests}'
+        if released:
+            out += f',"released":{released}'
+        if delivered:
+            out += f',"delivered":{delivered}'
+        if missed:
+            out += f',"missed":{missed}'
+        if dropped:
+            out += f',"dropped":{dropped}'
+        return out + "}"
+
+    def flush(self) -> None:
+        """Serialise and write any buffered events through to the OS."""
+        if self._buffer:
+            slot_line = self._slot_line
+            lines = [
+                slot_line(entry) if type(entry) is tuple
+                else entry.to_json()
+                for entry in self._buffer
+            ]
+            self._fh.write("\n".join(lines) + "\n")
+            self._buffer.clear()
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if not self._fh.closed:
+            self.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BoundedEventRing(EventSink):
+    """Keeps the most recent ``max_events`` events in memory.
+
+    Unlike the old :class:`~repro.sim.trace.SlotTrace` truncation (which
+    kept the *oldest* records and silently dropped the rest), the ring
+    keeps the newest -- the end of a run is usually where the interesting
+    failure is -- and counts what it evicted in :attr:`dropped`.
+    """
+
+    def __init__(self, max_events: int = 10_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self._ring: deque[_Event] = deque(maxlen=max_events)
+        self.dropped = 0
+
+    def emit(self, event: _Event) -> None:
+        """Keep the event, evicting (and counting) the oldest when full."""
+        if len(self._ring) == self.max_events:
+            self.dropped += 1
+        self._ring.append(event)
+
+    @property
+    def events(self) -> tuple[_Event, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+
+class EventDispatcher:
+    """Fans engine emissions out to sinks and slot-trace subscribers.
+
+    Two kinds of subscribers:
+
+    * *sinks* (:class:`EventSink`) receive every typed event;
+    * *traces* (anything with a ``SlotTrace``-compatible ``on_slot``)
+      receive the rich per-slot objects (outcome, executed plan, next
+      plan, wire packets), exactly as the engine used to call
+      ``SlotTrace.on_slot`` directly.
+
+    Only traces force slot-by-slot stepping
+    (:attr:`blocks_fast_forward`): a sink is content with one
+    :class:`FastForwardSpan` event per skipped span.
+    """
+
+    def __init__(self, sinks: tuple[EventSink, ...] = ()):
+        self._sinks: list[EventSink] = list(sinks)
+        self._traces: list = []
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        """Attach a sink; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def add_trace(self, trace) -> None:
+        """Subscribe a ``SlotTrace``-compatible per-slot recorder."""
+        self._traces.append(trace)
+
+    @property
+    def blocks_fast_forward(self) -> bool:
+        """Whether any subscriber must see every slot individually."""
+        return bool(self._traces)
+
+    @property
+    def wants_slot_events(self) -> bool:
+        """Whether the engine should compile per-slot events at all."""
+        return bool(self._sinks) or bool(self._traces)
+
+    def emit(self, event: _Event) -> None:
+        """Deliver one typed event to every sink."""
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def dispatch_slot(
+        self,
+        outcome,
+        plan_executed,
+        plan_next,
+        released: int,
+        delivered: int,
+        missed: int,
+        dropped: int,
+    ) -> None:
+        """Deliver one executed slot to traces (rich) and sinks (typed)."""
+        if self._traces:
+            for trace in self._traces:
+                trace.on_slot(
+                    outcome,
+                    plan_executed,
+                    plan_next,
+                    collection=plan_next.collection_packet,
+                    distribution=plan_next.distribution_packet,
+                )
+        n_requests = plan_next.n_requests
+        for sink in self._sinks:
+            sink.emit_slot(
+                outcome, n_requests, released, delivered, missed, dropped
+            )
+
+    def close(self) -> None:
+        """Close every sink (idempotent)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "EventDispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

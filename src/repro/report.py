@@ -9,11 +9,31 @@ objects (and whole parameter sweeps of them) into CSV files with plain
 from __future__ import annotations
 
 import csv
+import math
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 from repro.core.priorities import TrafficClass
+from repro.obs.manifest import RunManifest, manifest_path_for
 from repro.sim.metrics import SimulationReport
+
+#: The single textual representation of a missing/undefined numeric value
+#: in every CSV this module writes.  Exactly this spelling: it is what
+#: ``float("NaN")`` parses from, what pandas/numpy recognise by default,
+#: and it avoids the ``nan``/``NAN``/empty-cell zoo ``str(float)`` and
+#: ad-hoc writers otherwise produce.
+CSV_NAN = "NaN"
+
+
+def _csv_value(value: object) -> object:
+    """Normalise one cell: NaN floats become :data:`CSV_NAN`."""
+    if isinstance(value, float) and math.isnan(value):
+        return CSV_NAN
+    return value
+
+
+def _csv_row(row: Mapping[str, object]) -> dict[str, object]:
+    return {key: _csv_value(value) for key, value in row.items()}
 
 #: Columns of the flat report row, in order.
 REPORT_FIELDS: tuple[str, ...] = (
@@ -91,12 +111,18 @@ def write_report_csv(
     path: str | Path,
     reports: Sequence[SimulationReport],
     parameters: Sequence[Mapping[str, object]] | None = None,
+    manifest: "RunManifest | None" = None,
 ) -> Path:
     """Write one CSV row per report.
 
     ``parameters`` optionally supplies per-report sweep parameters
     (e.g. ``{"protocol": ..., "target_u": ...}``); their keys become
     leading columns.  All reports must share the same parameter keys.
+    Undefined numeric values are written as :data:`CSV_NAN`.
+
+    ``manifest`` optionally writes a provenance record next to the CSV
+    (``<name>.csv.manifest.json``), so the artifact carries the scenario,
+    seed and code revision that produced it.
     """
     path = Path(path)
     if parameters is not None and len(parameters) != len(reports):
@@ -119,12 +145,23 @@ def write_report_csv(
         for i, report in enumerate(reports):
             row = dict(parameters[i]) if parameters else {}
             row.update(report_row(report))
-            writer.writerow(row)
+            writer.writerow(_csv_row(row))
+    if manifest is not None:
+        manifest.write(manifest_path_for(path))
     return path
 
 
-def write_connection_csv(path: str | Path, report: SimulationReport) -> Path:
-    """One CSV row per logical real-time connection in a report."""
+def write_connection_csv(
+    path: str | Path,
+    report: SimulationReport,
+    manifest: "RunManifest | None" = None,
+) -> Path:
+    """One CSV row per logical real-time connection in a report.
+
+    Undefined numeric values are written as :data:`CSV_NAN`;
+    ``manifest`` optionally writes a provenance sibling as in
+    :func:`write_report_csv`.
+    """
     path = Path(path)
     fields = (
         "connection_id",
@@ -142,15 +179,19 @@ def write_connection_csv(path: str | Path, report: SimulationReport) -> Path:
         for cid in sorted(report.per_connection):
             s = report.per_connection[cid]
             writer.writerow(
-                {
-                    "connection_id": cid,
-                    "released": s.released,
-                    "delivered": s.delivered,
-                    "dropped": s.dropped,
-                    "deadline_missed": s.deadline_missed,
-                    "miss_ratio": s.deadline_miss_ratio,
-                    "mean_latency_slots": s.mean_latency_slots,
-                    "jitter_slots": s.jitter_slots,
-                }
+                _csv_row(
+                    {
+                        "connection_id": cid,
+                        "released": s.released,
+                        "delivered": s.delivered,
+                        "dropped": s.dropped,
+                        "deadline_missed": s.deadline_missed,
+                        "miss_ratio": s.deadline_miss_ratio,
+                        "mean_latency_slots": s.mean_latency_slots,
+                        "jitter_slots": s.jitter_slots,
+                    }
+                )
             )
+    if manifest is not None:
+        manifest.write(manifest_path_for(path))
     return path

@@ -103,6 +103,9 @@ class BatchResult:
 
     reports: tuple[SimulationReport, ...]
     metrics: dict[str, MetricSummary]
+    #: Merged per-worker observability (seed order), populated only when
+    #: the batch ran with ``collect_registry=True``.
+    registry: "MetricRegistry | None" = None
 
     def __getitem__(self, name: str) -> MetricSummary:
         return self.metrics[name]
@@ -115,6 +118,7 @@ def replicate(
     n_replications: int = 10,
     master_seed: int = 0,
     n_jobs: int = 1,
+    collect_registry: bool = False,
 ) -> BatchResult:
     """Run ``build(rng)`` across independent seeds and aggregate.
 
@@ -138,7 +142,12 @@ def replicate(
         Worker processes.  ``1`` (default) runs serially in-process;
         any other value delegates to
         :func:`repro.sim.parallel.replicate_parallel` (``<= 0`` = one
-        per CPU), whose results are bit-identical to the serial path.
+        per available CPU), whose results are bit-identical to the
+        serial path.
+    collect_registry:
+        When True, each replication's collector mirrors its observations
+        into a :class:`~repro.obs.registry.MetricRegistry` and the
+        seed-order merge lands in :attr:`BatchResult.registry`.
     """
     if n_jobs != 1:
         # Imported lazily: parallel imports this module for the result
@@ -152,6 +161,7 @@ def replicate(
             n_replications=n_replications,
             master_seed=master_seed,
             n_jobs=n_jobs,
+            collect_registry=collect_registry,
         )
     if n_replications < 1:
         raise ValueError(
@@ -162,6 +172,11 @@ def replicate(
     if not metrics:
         raise ValueError("no metrics requested")
 
+    merged_registry = None
+    if collect_registry:
+        from repro.obs.registry import MetricRegistry
+
+        merged_registry = MetricRegistry()
     seed_seq = np.random.SeedSequence(master_seed)
     children = seed_seq.spawn(n_replications)
     reports: list[SimulationReport] = []
@@ -169,7 +184,17 @@ def replicate(
     for child in children:
         rng = np.random.default_rng(child)
         sim = build(rng)
+        if merged_registry is not None:
+            # Each replication mirrors into its own fresh registry which
+            # is then merged in seed order -- the same grouping the
+            # parallel path uses, so float totals come out bit-identical
+            # regardless of n_jobs.
+            sim.metrics.registry = MetricRegistry()
         report = sim.run(n_slots)
+        if merged_registry is not None:
+            if sim.profiler is not None:
+                sim.metrics.registry.merge(sim.profiler.registry)
+            merged_registry.merge(sim.metrics.registry)
         reports.append(report)
         for name, extract in metrics.items():
             values[name].append(float(extract(report)))
@@ -179,4 +204,5 @@ def replicate(
             name: MetricSummary(name=name, values=tuple(vals))
             for name, vals in values.items()
         },
+        registry=merged_registry,
     )

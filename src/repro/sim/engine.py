@@ -41,6 +41,17 @@ from repro.core.messages import MessageStatus
 from repro.core.protocol import MacProtocol, SlotOutcome, SlotPlan
 from repro.core.queues import NodeQueues
 from repro.core.timing import NetworkTiming
+from repro.obs.events import (
+    EventDispatcher,
+    FastForwardSpan,
+    FaultInjected,
+    HandoverOccurred,
+    NodeFailed,
+    NodeRejoined,
+    RecoveryPerformed,
+    RunHeader,
+)
+from repro.obs.manifest import package_version as _package_version
 from repro.sim.fault_models import FaultModel, coerce_fault_model
 from repro.sim.faults import FaultInjector
 from repro.sim.metrics import MetricsCollector, SimulationReport
@@ -78,6 +89,18 @@ class Simulation:
         False (default) they stay queued and miss on delivery.
     trace:
         Optional :class:`~repro.sim.trace.SlotTrace` to record events.
+        Internally the trace subscribes to the event dispatch (see
+        ``observer``); per-slot traces force slot-by-slot stepping, so
+        they disable the idle fast-forward.
+    observer:
+        Optional :class:`~repro.obs.events.EventDispatcher`.  The engine
+        emits typed events (slot executed, hand-over, faults, recovery,
+        node fail/rejoin, fast-forward spans) through it to any attached
+        sinks -- e.g. a JSONL log on disk -- without keeping anything in
+        memory.  Streaming sinks do *not* disable fast-forward: a skipped
+        idle span is logged as one
+        :class:`~repro.obs.events.FastForwardSpan` event.  ``None``
+        (default) costs nothing.
     faults:
         Optional fault source: a legacy scripted
         :class:`~repro.sim.faults.FaultInjector` (wrapped for backwards
@@ -113,6 +136,7 @@ class Simulation:
         admission: AdmissionController | None = None,
         fast_forward: bool = True,
         profiler: "PhaseProfiler | None" = None,
+        observer: EventDispatcher | None = None,
     ):
         self.timing = timing
         self.protocol = protocol
@@ -139,6 +163,30 @@ class Simulation:
         self.admission = admission
         #: Packets lost and later retransmitted (reliable service stats).
         self.packets_lost = 0
+        # Observability: the legacy `trace` argument subscribes to the
+        # same dispatch every other sink uses, so there is exactly one
+        # per-slot emission point.  `observer is None` is the only check
+        # the unobserved hot path pays.
+        if trace is not None:
+            if observer is None:
+                observer = EventDispatcher()
+            observer.add_trace(trace)
+        self.observer = observer
+        # Per-slot event counters (released/delivered/missed/dropped),
+        # rebound by step() while slot events are wanted; None otherwise.
+        self._ev: list[int] | None = None
+        if observer is not None:
+            protocol.observer = observer
+            if admission is not None:
+                admission.observer = observer
+            observer.emit(
+                RunHeader(
+                    n_nodes=n,
+                    protocol=type(protocol).__name__,
+                    slot_length_s=timing.slot_length_s,
+                    package_version=_package_version(),
+                )
+            )
 
         if self.faults is not None:
             worst_gap = timing.max_handover_time_s
@@ -176,9 +224,11 @@ class Simulation:
         # exact repetition: a stationary idle plan (protocol property),
         # no stochastic per-slot fault draws, and no per-slot trace
         # records (traces must show every slot, so they disable it).
+        # Streaming event sinks do NOT disable it: a skipped span is
+        # logged as one FastForwardSpan event.
         self.fast_forward = (
             fast_forward
-            and trace is None
+            and (observer is None or not observer.blocks_fast_forward)
             and self.faults is None
             and loss_model is None
             and protocol.idle_plan_is_stationary
@@ -211,6 +261,11 @@ class Simulation:
         assert self.faults is not None
         view = self._queues_view
         assert isinstance(view, dict)
+        observer = self.observer
+        ev = self._ev
+        if self.admission is not None:
+            # Stamp the controller so its admission events carry the slot.
+            self.admission.current_slot = slot
         dead = 0
         for node in range(self.topology.n_nodes):
             alive = self.faults.is_alive(node, slot)
@@ -225,6 +280,8 @@ class Simulation:
                     self._empty_queues[node] = NodeQueues(node)
                 view[node] = self._empty_queues[node]
                 self.metrics.on_node_failure()
+                if observer is not None:
+                    observer.emit(NodeFailed(slot=slot, node=node))
                 if self.admission is not None:
                     self.admission.suspend_node(node)
             else:
@@ -235,7 +292,15 @@ class Simulation:
                 self.metrics.fault_window_active = True
                 for msg in purged:
                     self.metrics.on_drop(msg)
+                    if ev is not None:
+                        ev[3] += 1
+                        if msg.deadline_slot is not None:
+                            ev[2] += 1
                 self.metrics.fault_window_active = was_active
+                if observer is not None:
+                    observer.emit(
+                        NodeRejoined(slot=slot, node=node, purged=len(purged))
+                    )
                 if self.admission is not None:
                     self.admission.resume_node(node)
         if dead:
@@ -258,6 +323,10 @@ class Simulation:
         self._pending_distribution_loss = False
         if faults.clock_glitch(slot):
             self.metrics.on_fault_event("clock_glitch")
+            if self.observer is not None:
+                self.observer.emit(
+                    FaultInjected(slot=slot, fault="clock_glitch")
+                )
             clock_missing = True
 
         if not clock_missing:
@@ -277,6 +346,15 @@ class Simulation:
 
         designated = faults.designated_node(slot, self.topology.n_nodes)
         timeout = faults.recovery.timeout_for(self._recovery_attempts)
+        if self.observer is not None:
+            self.observer.emit(
+                RecoveryPerformed(
+                    slot=slot,
+                    designated_node=designated,
+                    timeout_s=timeout,
+                    attempt=self._recovery_attempts,
+                )
+            )
         self._recovery_attempts += 1
         self.recovery_state = RecoveryState.RECOVERING
         self.metrics.on_recovery(timeout)
@@ -293,6 +371,15 @@ class Simulation:
         plan = self._plan
         faults = self.faults
         profiler = self.profiler
+        observer = self.observer
+        # Per-slot event counters [released, delivered, missed, dropped];
+        # incremented only at the (sparse) sites where activity happens,
+        # so compiling slot events costs O(activity), not O(classes).
+        ev = self._ev = (
+            [0, 0, 0, 0]
+            if observer is not None and observer.wants_slot_events
+            else None
+        )
         if profiler is not None:
             t_phase = profiler.clock()
 
@@ -317,12 +404,18 @@ class Simulation:
                     )
                 self.queues[msg.source].enqueue(msg)
                 self.metrics.on_release(msg)
+                if ev is not None:
+                    ev[0] += 1
 
         # --- late-drop policy -------------------------------------------
         if self.drop_late:
             for queues in self.queues.values():
                 for dropped in queues.drop_late(slot):
                     self.metrics.on_drop(dropped)
+                    if ev is not None:
+                        ev[3] += 1
+                        if dropped.deadline_slot is not None:
+                            ev[2] += 1
 
         if profiler is not None:
             t_phase = profiler.lap("release", t_phase)
@@ -343,6 +436,10 @@ class Simulation:
         for tx in outcome.transmitted:
             if tx.message.status is MessageStatus.DELIVERED:
                 self.metrics.on_delivery(tx.message)
+                if ev is not None:
+                    ev[1] += 1
+                    if tx.message.met_deadline() is False:
+                        ev[2] += 1
 
         if profiler is not None:
             t_phase = profiler.lap("execute", t_phase)
@@ -357,6 +454,10 @@ class Simulation:
                 # round failed and keeps the clock through an idle slot.
                 self.metrics.on_fault_event("collection_loss")
                 self.metrics.on_arbitration_void()
+                if observer is not None:
+                    observer.emit(
+                        FaultInjected(slot=slot, fault="collection_loss")
+                    )
                 next_plan = dataclasses.replace(
                     next_plan,
                     master=outcome.master,
@@ -370,6 +471,10 @@ class Simulation:
                 # when the expected clock stays silent.
                 self.metrics.on_fault_event("distribution_loss")
                 self._pending_distribution_loss = True
+                if observer is not None:
+                    observer.emit(
+                        FaultInjected(slot=slot, fault="distribution_loss")
+                    )
 
         # --- accounting --------------------------------------------------
         hops_key = (self._prev_master, outcome.master)
@@ -382,14 +487,21 @@ class Simulation:
         )
         if profiler is not None:
             profiler.lap("metrics", t_phase)
-        if self.trace is not None:
-            self.trace.on_slot(
-                outcome,
-                plan,
-                next_plan,
-                collection=next_plan.collection_packet,
-                distribution=next_plan.distribution_packet,
-            )
+        if observer is not None:
+            if hops and self._prev_master != outcome.master:
+                observer.emit(
+                    HandoverOccurred(
+                        slot=slot,
+                        from_node=self._prev_master,
+                        to_node=outcome.master,
+                        hops=hops,
+                        gap_s=outcome.gap_s,
+                    )
+                )
+            if ev is not None:
+                observer.dispatch_slot(
+                    outcome, plan, next_plan, ev[0], ev[1], ev[2], ev[3]
+                )
 
         self._prev_master = outcome.master
         self._plan = next_plan
@@ -441,6 +553,15 @@ class Simulation:
         self._plan = dataclasses.replace(plan, transmit_slot=self.current_slot)
         if self.profiler is not None:
             self.profiler.count("fast_forwarded_slots", k)
+        if self.observer is not None:
+            self.observer.emit(
+                FastForwardSpan(
+                    slot_start=slot,
+                    slot_end=self.current_slot,
+                    n_slots=k,
+                    master=plan.master,
+                )
+            )
         return k
 
     def run(self, n_slots: int) -> SimulationReport:

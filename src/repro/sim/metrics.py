@@ -101,14 +101,28 @@ class ClassStats:
         return float(np.mean(self.latencies_slots))
 
     @property
-    def max_latency_slots(self) -> int:
-        """Largest delivery latency observed, in slots."""
+    def max_latency_slots(self) -> float:
+        """Largest delivery latency observed, in slots.
+
+        NaN before any delivery -- a real maximum of 0 slots is
+        impossible (latency counts at least the delivery slot itself), so
+        the old ``0`` sentinel silently read as a perfect latency.
+        """
         if not self.latencies_slots:
-            return 0
-        return int(max(self.latencies_slots))
+            return float("nan")
+        return float(max(self.latencies_slots))
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile of delivery latencies, in slots."""
+        """The ``q``-th percentile of delivery latencies, in slots.
+
+        ``q`` follows :func:`numpy.percentile`'s convention: a percentage
+        in ``[0, 100]`` (so the median is ``q=50``, not ``q=0.5``).
+        NaN before any delivery.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(
+                f"q is a percentage in [0, 100] (the median is q=50), got {q}"
+            )
         if not self.latencies_slots:
             return float("nan")
         return float(np.percentile(self.latencies_slots, q))
@@ -257,6 +271,16 @@ class SimulationReport:
         return sum(s.delivered for s in self.per_class.values())
 
     @property
+    def total_missed(self) -> int:
+        """Deadline misses across all classes (deliveries and drops)."""
+        return sum(s.deadline_missed for s in self.per_class.values())
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages dropped across all classes."""
+        return sum(s.dropped for s in self.per_class.values())
+
+    @property
     def availability(self) -> float:
         """Fraction of simulated slots whose data capacity survived faults.
 
@@ -279,14 +303,23 @@ class SimulationReport:
 
 
 class MetricsCollector:
-    """Feeds a :class:`SimulationReport` from engine callbacks."""
+    """Feeds a :class:`SimulationReport` from engine callbacks.
 
-    def __init__(self, n_nodes: int):
+    When a :class:`~repro.obs.registry.MetricRegistry` is attached
+    (``registry`` argument, or assigned later), the collector mirrors its
+    message/fault/recovery observations into it under ``sim:*`` names, so
+    parallel replication can merge per-worker observability exactly as it
+    merges reports.  ``registry=None`` (default) mirrors nothing.
+    """
+
+    def __init__(self, n_nodes: int, registry=None):
         self.report = SimulationReport(n_nodes=n_nodes)
         #: Set by the engine while a fault window is open (recovery in
         #: progress, or a rejoining node's queue being purged); deadline
         #: misses recorded meanwhile are attributed to the fault.
         self.fault_window_active = False
+        #: Optional :class:`~repro.obs.registry.MetricRegistry` mirror.
+        self.registry = registry
 
     # --- message lifecycle --------------------------------------------
 
@@ -303,6 +336,8 @@ class MetricsCollector:
         conn = self._connection_stats(message)
         if conn is not None:
             conn.released += 1
+        if self.registry is not None:
+            self.registry.inc("sim:released")
 
     def on_delivery(self, message: Message) -> None:
         """Account a completed delivery (latency, deadline verdict)."""
@@ -326,6 +361,11 @@ class MetricsCollector:
                 conn.deadline_met += 1
             elif met is False:
                 conn.deadline_missed += 1
+        if self.registry is not None:
+            self.registry.inc("sim:delivered")
+            self.registry.observe("sim:latency_slots", latency)
+            if met is False:
+                self.registry.inc("sim:deadline_missed")
 
     def on_drop(self, message: Message) -> None:
         """Account a dropped message (a miss if it had a deadline)."""
@@ -340,12 +380,18 @@ class MetricsCollector:
         if conn is not None:
             conn.dropped += 1
             conn.deadline_missed += 1
+        if self.registry is not None:
+            self.registry.inc("sim:dropped")
+            if message.deadline_slot is not None:
+                self.registry.inc("sim:deadline_missed")
 
     # --- fault lifecycle ------------------------------------------------
 
     def on_fault_event(self, kind: str) -> None:
         """Account one injected fault occurrence of the given kind."""
         self.report.availability_stats.fault_events[kind] += 1
+        if self.registry is not None:
+            self.registry.inc(f"sim:fault:{kind}")
 
     def on_recovery(self, timeout_s: float) -> None:
         """Account one designated-node takeover (one voided slot)."""
@@ -353,6 +399,9 @@ class MetricsCollector:
         a.recoveries += 1
         a.slots_lost += 1
         a.recovery_time_s += timeout_s
+        if self.registry is not None:
+            self.registry.inc("sim:recoveries")
+            self.registry.observe("sim:recovery_timeout_s", timeout_s)
 
     def on_arbitration_void(self) -> None:
         """Account one arbitration round lost to collection-packet loss."""
@@ -363,6 +412,8 @@ class MetricsCollector:
         a = self.report.availability_stats
         a.node_failures += 1
         a.fault_events["node_failure"] += 1
+        if self.registry is not None:
+            self.registry.inc("sim:fault:node_failure")
 
     def on_node_rejoin(self) -> None:
         """Account one node repair/rejoin transition."""

@@ -28,27 +28,55 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.obs.registry import MetricRegistry
 from repro.sim.batch import BatchResult, MetricSummary
 from repro.sim.engine import Simulation
 from repro.sim.metrics import SimulationReport
 
 
+def available_cpus() -> int:
+    """CPUs this *process* may run on (affinity-aware), at least 1.
+
+    ``os.cpu_count()`` reports the machine, not the process: under CI
+    runners, containers and ``taskset`` the scheduling affinity is often
+    a small subset, and sizing a pool to the machine oversubscribes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    count_fn = getattr(os, "process_cpu_count", os.cpu_count)
+    return count_fn() or 1
+
+
 def resolve_jobs(n_jobs: int) -> int:
-    """Normalise a job count: ``<= 0`` means one per available CPU."""
+    """Normalise a job count: ``<= 0`` means one per *available* CPU
+    (scheduling affinity, not machine size -- see :func:`available_cpus`)."""
     if n_jobs > 0:
         return n_jobs
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 def _run_replication(
     build: Callable[[np.random.Generator], Simulation],
     child: np.random.SeedSequence,
     n_slots: int,
-) -> SimulationReport:
-    """Worker body: one replication, returning its full report."""
+    collect_registry: bool = False,
+) -> tuple[SimulationReport, MetricRegistry | None]:
+    """Worker body: one replication, returning its report (and, when
+    requested, the observability registry its collector mirrored into)."""
     rng = np.random.default_rng(child)
     sim = build(rng)
-    return sim.run(n_slots)
+    registry = None
+    if collect_registry:
+        registry = MetricRegistry()
+        sim.metrics.registry = registry
+    report = sim.run(n_slots)
+    if registry is not None and sim.profiler is not None:
+        registry.merge(sim.profiler.registry)
+    return report, registry
 
 
 def replicate_parallel(
@@ -58,12 +86,19 @@ def replicate_parallel(
     n_replications: int = 10,
     master_seed: int = 0,
     n_jobs: int = 0,
+    collect_registry: bool = False,
 ) -> BatchResult:
     """Parallel :func:`repro.sim.batch.replicate`; same result, bit-for-bit.
 
     Parameters match :func:`~repro.sim.batch.replicate` plus ``n_jobs``:
-    worker processes to use (``<= 0`` = one per CPU).  ``build`` must be
-    picklable (module-level function or ``functools.partial``).
+    worker processes to use (``<= 0`` = one per available CPU).  ``build``
+    must be picklable (module-level function or ``functools.partial``).
+
+    With ``collect_registry=True`` each worker's collector mirrors its
+    observations into a :class:`~repro.obs.registry.MetricRegistry`; the
+    registries come back with the reports and are merged **in seed
+    order** into :attr:`~repro.sim.batch.BatchResult.registry`, so the
+    merged observability is as deterministic as the merged metrics.
     """
     if n_replications < 1:
         raise ValueError(
@@ -79,21 +114,31 @@ def replicate_parallel(
     jobs = min(resolve_jobs(n_jobs), n_replications)
 
     if jobs == 1:
-        reports = [
-            _run_replication(build, child, n_slots) for child in children
+        results = [
+            _run_replication(build, child, n_slots, collect_registry)
+            for child in children
         ]
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            # map() preserves input order: reports come back in seed
+            # map() preserves input order: results come back in seed
             # order regardless of which worker finished first.
-            reports = list(
+            results = list(
                 pool.map(
                     _run_replication,
                     (build for _ in children),
                     children,
                     (n_slots for _ in children),
+                    (collect_registry for _ in children),
                 )
             )
+
+    reports = [report for report, _ in results]
+    merged_registry = None
+    if collect_registry:
+        merged_registry = MetricRegistry()
+        for _, registry in results:  # seed order, like the reports
+            if registry is not None:
+                merged_registry.merge(registry)
 
     values: dict[str, list[float]] = {name: [] for name in metrics}
     for report in reports:
@@ -105,4 +150,5 @@ def replicate_parallel(
             name: MetricSummary(name=name, values=tuple(vals))
             for name, vals in values.items()
         },
+        registry=merged_registry,
     )

@@ -7,6 +7,13 @@ the number of fast-forwarded slots.  The engine only touches it when one
 is attached, so profiling costs nothing when off; when on, the overhead
 is one ``perf_counter()`` call per phase boundary.
 
+The accumulators live in a :class:`~repro.obs.registry.MetricRegistry`:
+each phase is a histogram named ``phase:<name>`` (count = laps, total =
+seconds) and the free-form counters are registry counters.  That makes
+profiles mergeable across parallel replications with the same
+deterministic seed-order merge as every other observability value, and
+lets run manifests embed the profile as plain registry data.
+
 Usage from the CLI: ``repro simulate ... --profile`` prints the phase
 table after the run.
 """
@@ -15,6 +22,11 @@ from __future__ import annotations
 
 import time
 from collections import Counter
+
+from repro.obs.registry import MetricRegistry
+
+#: Registry-name prefix of the per-phase timers.
+PHASE_PREFIX = "phase:"
 
 
 class PhaseProfiler:
@@ -29,15 +41,12 @@ class PhaseProfiler:
         t = profiler.lap("b", t)
     """
 
-    __slots__ = ("seconds", "calls", "counters")
+    __slots__ = ("registry",)
 
-    def __init__(self) -> None:
-        #: Cumulative wall-clock seconds per phase.
-        self.seconds: dict[str, float] = {}
-        #: Number of laps recorded per phase.
-        self.calls: Counter = Counter()
-        #: Free-form event counters (e.g. ``fast_forwarded_slots``).
-        self.counters: Counter = Counter()
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        #: Backing store; share one registry across components to get a
+        #: single merged observability snapshot.
+        self.registry = registry if registry is not None else MetricRegistry()
 
     @staticmethod
     def clock() -> float:
@@ -50,15 +59,39 @@ class PhaseProfiler:
         Returns the current timestamp, to be fed to the next lap.
         """
         now = time.perf_counter()
-        self.seconds[phase] = self.seconds.get(phase, 0.0) + (now - since)
-        self.calls[phase] += 1
+        self.registry.observe(PHASE_PREFIX + phase, now - since)
         return now
 
     def count(self, name: str, k: int = 1) -> None:
         """Add ``k`` to the free-form counter ``name``."""
-        self.counters[name] += k
+        self.registry.inc(name, k)
 
     # ------------------------------------------------------------------
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Cumulative wall-clock seconds per phase."""
+        return {
+            name[len(PHASE_PREFIX):]: hist.total
+            for name, hist in self.registry.histograms.items()
+            if name.startswith(PHASE_PREFIX)
+        }
+
+    @property
+    def calls(self) -> Counter:
+        """Number of laps recorded per phase."""
+        return Counter(
+            {
+                name[len(PHASE_PREFIX):]: hist.count
+                for name, hist in self.registry.histograms.items()
+                if name.startswith(PHASE_PREFIX)
+            }
+        )
+
+    @property
+    def counters(self) -> Counter:
+        """Free-form event counters (e.g. ``fast_forwarded_slots``)."""
+        return self.registry.counters
 
     @property
     def total_seconds(self) -> float:
@@ -67,23 +100,20 @@ class PhaseProfiler:
 
     def merge(self, other: "PhaseProfiler") -> None:
         """Fold another profiler's accumulations into this one."""
-        for phase, secs in other.seconds.items():
-            self.seconds[phase] = self.seconds.get(phase, 0.0) + secs
-        self.calls.update(other.calls)
-        self.counters.update(other.counters)
+        self.registry.merge(other.registry)
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Phase table as plain data: seconds, calls, share of total."""
-        total = self.total_seconds
+        seconds = self.seconds
+        calls = self.calls
+        total = sum(seconds.values())
         return {
             phase: {
                 "seconds": secs,
-                "calls": float(self.calls[phase]),
+                "calls": float(calls[phase]),
                 "share": (secs / total) if total > 0 else 0.0,
             }
-            for phase, secs in sorted(
-                self.seconds.items(), key=lambda kv: -kv[1]
-            )
+            for phase, secs in sorted(seconds.items(), key=lambda kv: -kv[1])
         }
 
     def format_table(self) -> str:

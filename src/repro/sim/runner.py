@@ -21,6 +21,7 @@ from repro.core.connection import LogicalRealTimeConnection
 from repro.core.mapping import LaxityMapping
 from repro.core.protocol import CcrEdfProtocol, MacProtocol
 from repro.core.timing import NetworkTiming
+from repro.obs.events import EventDispatcher
 from repro.phy.constants import (
     DEFAULT_LINK_LENGTH_M,
     DEFAULT_NODE_DELAY_S,
@@ -111,6 +112,7 @@ def build_simulation(
     with_admission: bool = False,
     fast_forward: bool = True,
     profiler: "PhaseProfiler | None" = None,
+    observer: EventDispatcher | None = None,
 ) -> Simulation:
     """Assemble a ready-to-run simulation for a scenario.
 
@@ -121,6 +123,8 @@ def build_simulation(
     ``with_admission=True`` an :class:`AdmissionController` is created,
     the scenario's connections are admission-tested into it, and the
     engine suspends/re-admits them across node failures and rejoins.
+    ``observer`` attaches an :class:`~repro.obs.events.EventDispatcher`
+    (e.g. carrying a JSONL event-log sink) to the whole stack.
     """
     timing = make_timing(config)
     protocol = make_protocol(config, timing.topology, mapping)
@@ -133,6 +137,10 @@ def build_simulation(
     admission = None
     if with_admission:
         admission = AdmissionController(timing)
+        # Attach the observer before the initial admission pass so the
+        # pre-run decisions (slot=None) land in the event log too.
+        if observer is not None:
+            admission.observer = observer
         for conn in config.connections:
             admission.request(conn)
     return Simulation(
@@ -147,6 +155,7 @@ def build_simulation(
         admission=admission,
         fast_forward=fast_forward,
         profiler=profiler,
+        observer=observer,
     )
 
 
@@ -161,6 +170,7 @@ def run_scenario(
     with_admission: bool = False,
     fast_forward: bool = True,
     profiler: "PhaseProfiler | None" = None,
+    observer: EventDispatcher | None = None,
 ) -> SimulationReport:
     """Build and run a scenario for ``n_slots`` slots."""
     sim = build_simulation(
@@ -173,5 +183,6 @@ def run_scenario(
         with_admission=with_admission,
         fast_forward=fast_forward,
         profiler=profiler,
+        observer=observer,
     )
     return sim.run(n_slots)

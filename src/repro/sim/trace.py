@@ -46,7 +46,12 @@ class SlotTrace:
         self.max_records = max_records
         self.verify_wire = verify_wire
         self.records: list[TraceRecord] = []
+        #: True once at least one record was not stored for lack of room.
         self.truncated = False
+        #: How many slot records were discarded after the trace filled --
+        #: ``truncated`` alone says the trace is incomplete, ``dropped``
+        #: says by how much (``repro simulate --trace`` warns with both).
+        self.dropped = 0
 
     def on_slot(
         self,
@@ -83,6 +88,7 @@ class SlotTrace:
 
         if len(self.records) >= self.max_records:
             self.truncated = True
+            self.dropped += 1
             return
         self.records.append(
             TraceRecord(

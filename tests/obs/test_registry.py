@@ -1,0 +1,124 @@
+"""Tests for the unified counter/histogram registry."""
+
+import math
+import pickle
+
+from repro.obs.registry import Histogram, MetricRegistry
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert math.isnan(h.mean)
+        assert h.as_dict() == {"count": 0, "total": 0.0}
+
+    def test_observations(self):
+        h = Histogram()
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_bucketing_is_log2(self):
+        h = Histogram()
+        h.observe(0.0)  # bucket 0 (non-positive)
+        h.observe(-1.0)  # bucket 0
+        h.observe(0.75)  # frexp exp 0 -> bucket 0
+        h.observe(1.5)  # [1, 2) -> bucket 1
+        h.observe(3.0)  # [2, 4) -> bucket 2
+        assert h.buckets[0] == 3
+        assert h.buckets[1] == 1
+        assert h.buckets[2] == 1
+
+    def test_merge_is_order_free_for_counts(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (4.0, 0.5):
+            b.observe(v)
+        ab = pickle.loads(pickle.dumps(a))
+        ab.merge(b)
+        ba = pickle.loads(pickle.dumps(b))
+        ba.merge(a)
+        assert ab.count == ba.count == 4
+        assert ab.min == ba.min == 0.5
+        assert ab.max == ba.max == 4.0
+        assert ab.buckets == ba.buckets
+
+    def test_merge_with_empty_is_identity(self):
+        a = Histogram()
+        a.observe(2.0)
+        before = pickle.loads(pickle.dumps(a))
+        a.merge(Histogram())
+        assert a == before
+
+
+class TestMetricRegistry:
+    def test_counters_and_histograms(self):
+        r = MetricRegistry()
+        r.inc("faults")
+        r.inc("faults", 2)
+        r.observe("latency", 4.0)
+        r.observe("latency", 6.0)
+        assert r.counters["faults"] == 3
+        assert r.histogram("latency").mean == 5.0
+
+    def test_merge_is_additive(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.inc("x", 1)
+        a.observe("h", 1.0)
+        b.inc("x", 2)
+        b.inc("y", 5)
+        b.observe("h", 3.0)
+        b.observe("g", 7.0)
+        a.merge(b)
+        assert a.counters["x"] == 3
+        assert a.counters["y"] == 5
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").total == 4.0
+        assert a.histogram("g").count == 1
+
+    def test_equality_and_pickle_round_trip(self):
+        r = MetricRegistry()
+        r.inc("n", 7)
+        r.observe("h", 2.5)
+        clone = pickle.loads(pickle.dumps(r))
+        assert clone == r
+        clone.inc("n")
+        assert clone != r
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        import json
+
+        r = MetricRegistry()
+        r.inc("zeta")
+        r.inc("alpha")
+        r.observe("h", 1.5)
+        d = r.as_dict()
+        assert list(d["counters"]) == ["alpha", "zeta"]
+        json.dumps(d)  # must not raise
+
+    def test_seed_order_merge_matches_any_grouping(self):
+        # Merging [r0, r1, r2] pairwise in order must equal merging a
+        # pre-combined tail -- associativity is what lets the parallel
+        # path fold worker registries in seed order.
+        parts = []
+        for i in range(3):
+            r = MetricRegistry()
+            r.inc("c", i + 1)
+            r.observe("h", float(i + 1))
+            parts.append(r)
+        left = MetricRegistry()
+        for p in parts:
+            left.merge(p)
+        tail = MetricRegistry()
+        tail.merge(parts[1])
+        tail.merge(parts[2])
+        right = MetricRegistry()
+        right.merge(parts[0])
+        right.merge(tail)
+        assert left == right

@@ -55,8 +55,23 @@ class TestClassStats:
     def test_empty_latency_stats_are_nan(self):
         s = ClassStats()
         assert math.isnan(s.mean_latency_slots)
-        assert s.max_latency_slots == 0
+        # NaN, not 0: a genuine 0-slot maximum latency is impossible, so
+        # the old 0 sentinel read as a (perfect) measurement.
+        assert math.isnan(s.max_latency_slots)
         assert math.isnan(s.latency_percentile(99))
+
+    def test_latency_percentile_rejects_fractional_quantiles(self):
+        # q is a percentage in [0, 100]; q=0.5 almost always means the
+        # caller wanted the median (q=50), so out-of-convention values
+        # are rejected rather than silently computed.
+        s = ClassStats(latencies_slots=[2, 4, 6])
+        assert s.latency_percentile(50) == pytest.approx(4.0)
+        assert s.latency_percentile(0) == pytest.approx(2.0)
+        assert s.latency_percentile(100) == pytest.approx(6.0)
+        with pytest.raises(ValueError, match="percentage"):
+            s.latency_percentile(101)
+        with pytest.raises(ValueError, match="percentage"):
+            s.latency_percentile(-1)
 
 
 class TestCollector:

@@ -133,3 +133,59 @@ class TestParallelValidation:
         assert resolve_jobs(3) == 3
         assert resolve_jobs(0) >= 1
         assert resolve_jobs(-1) >= 1
+
+    def test_resolve_jobs_respects_scheduling_affinity(self):
+        # <= 0 must size to the CPUs this process may actually run on
+        # (sched affinity under taskset/cgroups), not the whole machine.
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            assert resolve_jobs(0) == len(os.sched_getaffinity(0))
+            assert resolve_jobs(-5) == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux fallback
+            assert resolve_jobs(0) >= 1
+
+    def test_available_cpus_never_below_one(self):
+        from repro.sim.parallel import available_cpus
+
+        assert available_cpus() >= 1
+
+
+class TestRegistryMerge:
+    def test_parallel_registry_merge_matches_serial(self):
+        serial = replicate(
+            _build_faulty_scenario,
+            N_SLOTS,
+            METRICS,
+            n_replications=4,
+            master_seed=11,
+            n_jobs=1,
+            collect_registry=True,
+        )
+        parallel = replicate_parallel(
+            _build_faulty_scenario,
+            N_SLOTS,
+            METRICS,
+            n_replications=4,
+            master_seed=11,
+            n_jobs=2,
+            collect_registry=True,
+        )
+        assert serial.registry is not None
+        assert parallel.registry is not None
+        # Counters are exact integers; histograms merge additively in
+        # seed order on both paths, so the registries are equal.
+        assert parallel.registry == serial.registry
+        assert parallel.registry.counters["sim:released"] == sum(
+            r.total_released for r in serial.reports
+        )
+
+    def test_registry_off_by_default(self):
+        result = replicate(
+            _build_faulty_scenario,
+            300,
+            METRICS,
+            n_replications=2,
+            master_seed=3,
+        )
+        assert result.registry is None

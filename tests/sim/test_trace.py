@@ -44,6 +44,20 @@ class TestSlotTrace:
         assert len(trace) == 5
         assert trace.truncated
 
+    def test_truncation_counts_dropped_records(self):
+        # The truncation is no longer silent: every slot record that did
+        # not fit is counted, so callers can report how much is missing.
+        trace = SlotTrace(max_records=5)
+        build(trace).run(20)
+        assert trace.dropped == 15
+        assert len(trace) + trace.dropped == 20
+
+    def test_untruncated_trace_reports_zero_dropped(self):
+        trace = SlotTrace(max_records=50)
+        build(trace).run(20)
+        assert not trace.truncated
+        assert trace.dropped == 0
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError, match="max_records"):
             SlotTrace(max_records=0)
