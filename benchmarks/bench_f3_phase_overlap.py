@@ -10,7 +10,7 @@ that the control phases never steal data-channel time.
 from conftest import print_table
 
 from repro.core.connection import LogicalRealTimeConnection
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.sim.trace import SlotTrace
 
 
@@ -21,7 +21,7 @@ def test_f3_pipeline_lag(run_once, benchmark):
         )
         config = ScenarioConfig(n_nodes=8, connections=(conn,))
         trace = SlotTrace(verify_wire=True)
-        sim = build_simulation(config, trace=trace)
+        sim = build_simulation(config, RunOptions(trace=trace))
         sim.protocol.trace_packets = True
         sim.run(16)
         return trace

@@ -15,7 +15,7 @@ the baseline ``check_perf_regression.py`` compares against in CI.
 
 import numpy as np
 
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.traffic.periodic import random_connection_set
 from repro.traffic.sweeps import scale_connections_to_utilisation
 
@@ -80,7 +80,7 @@ def _events_sim(config, tmp_path, counter=iter(range(100_000))):
     observer.add_sink(
         JsonlEventLog(tmp_path / f"events-{next(counter)}.jsonl")
     )
-    return build_simulation(config, observer=observer)
+    return build_simulation(config, RunOptions(observer=observer))
 
 
 def test_perf_loaded_ring_n8_events(benchmark, perf_record, tmp_path):
@@ -172,6 +172,79 @@ def test_perf_sparse_ring_fast_forward_events_pair(
         )
 
 
+def test_perf_campaign_executor_overhead_pair(
+    benchmark, perf_record, tmp_path
+):
+    """Campaign executor vs raw worker batch: the <10% within-run gate.
+
+    Both sides execute the *identical* set of seeded runs.  The raw side
+    calls :func:`repro.sim.parallel.run_one` directly -- the bare
+    bit-identical worker unit; the executor side drives the same runs
+    through :func:`repro.campaign.run_campaign` into a fresh store, so
+    the difference isolates everything the campaign layer adds on top
+    (grid expansion, key fingerprinting, row flattening, atomic JSON
+    persistence).  ``check_perf_regression.py --campaign-tolerance``
+    fails CI when that on-cost exceeds 10%.
+
+    Interleaved round by round with ``time.perf_counter`` for the same
+    reason as the events pair above: a ratio between runs minutes apart
+    is at the mercy of shared-runner load drift.
+    """
+    import shutil
+    import time
+
+    from repro.campaign import (
+        Campaign,
+        ResultStore,
+        WorkloadSpec,
+        expand_runs,
+        run_campaign,
+    )
+    from repro.campaign.executor import _build_run
+    from repro.sim.parallel import run_one
+
+    campaign = Campaign(
+        name="perf-pair",
+        base=ScenarioConfig(n_nodes=8),
+        n_slots=SLOTS,
+        axes={"utilisation": (0.4, 0.8)},
+        workload=WorkloadSpec(n_connections=8, period_min=10, period_max=100),
+        n_replications=2,
+        master_seed=3,
+    )
+    specs = list(expand_runs(campaign))
+    total_slots = sum(spec.point.n_slots for spec in specs)
+    times: dict[str, list[float]] = {"raw": [], "executor": []}
+
+    def run_pair():
+        t0 = time.perf_counter()
+        for spec in specs:
+            run_one(
+                lambda rng, spec=spec: _build_run(spec, rng),
+                np.random.SeedSequence(entropy=spec.seed_entropy),
+                spec.point.n_slots,
+            )
+        times["raw"].append(time.perf_counter() - t0)
+        store_dir = tmp_path / "store"
+        shutil.rmtree(store_dir, ignore_errors=True)  # nothing cached
+        t0 = time.perf_counter()
+        summary = run_campaign(campaign, ResultStore(store_dir), n_jobs=1)
+        times["executor"].append(time.perf_counter() - t0)
+        assert summary.executed == len(specs) and summary.skipped == 0
+
+    benchmark.pedantic(run_pair, rounds=5, iterations=1, warmup_rounds=1)
+    for name, series in (
+        ("campaign_raw_batch", times["raw"]),
+        ("campaign_executor", times["executor"]),
+    ):
+        perf_record(
+            name,
+            total_slots,
+            sum(series) / len(series),
+            min_seconds=min(series),
+        )
+
+
 def test_perf_loaded_ring_n8_hot_cache(benchmark, perf_record):
     """Steady state: compose/route/gap caches warmed by a full run."""
     config = _loaded_config(8, 0.8)
@@ -215,7 +288,7 @@ def test_perf_idle_ring_plan_loop(benchmark, perf_record):
         benchmark,
         perf_record,
         "idle_ring_plan_loop",
-        lambda: build_simulation(config, fast_forward=False),
+        lambda: build_simulation(config, RunOptions(fast_forward=False)),
     )
     assert report.slots_simulated == SLOTS
 

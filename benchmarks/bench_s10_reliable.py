@@ -14,7 +14,7 @@ from conftest import print_table
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 from repro.services.reliable import PacketLossModel, ReliableStats
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 
 def workload(n, period=16, size=2):
@@ -42,7 +42,7 @@ def test_s10_goodput_and_latency_vs_loss(run_once, benchmark):
                 if loss_p
                 else None
             )
-            sim = build_simulation(config, loss_model=loss)
+            sim = build_simulation(config, RunOptions(loss_model=loss))
             report = sim.run(20_000)
             stats = ReliableStats.from_simulation(sim)
             rt = report.class_stats(TrafficClass.RT_CONNECTION)
@@ -95,7 +95,7 @@ def test_s10_loss_erodes_schedulability_slack(run_once, benchmark):
                 if loss_p
                 else None
             )
-            sim = build_simulation(config, loss_model=loss)
+            sim = build_simulation(config, RunOptions(loss_model=loss))
             report = sim.run(20_000)
             rt = report.class_stats(TrafficClass.RT_CONNECTION)
             effective_u = 0.75 / (1 - loss_p)

@@ -13,21 +13,14 @@ for the stochastic quantities:
   (constant vs linear in N).
 """
 
-from functools import partial
-
-import numpy as np
 from conftest import print_table
 
 from repro.analysis.bounds import (
     ccr_edf_access_bound_slots,
     tdma_access_bound_slots,
 )
-from repro.core.priorities import TrafficClass
 from repro.phy.packets import collection_packet_length_bits
-from repro.sim.batch import replicate
-from repro.sim.runner import ScenarioConfig, build_simulation, make_timing
-from repro.traffic.periodic import random_connection_set
-from repro.traffic.sweeps import scale_connections_to_utilisation
+from repro.sim.runner import ScenarioConfig, make_timing
 
 
 def test_s11_analytical_scaling(run_once, benchmark):
@@ -67,58 +60,52 @@ def test_s11_analytical_scaling(run_once, benchmark):
     benchmark.extra_info["n_range"] = [r[0] for r in rows]
 
 
-def _build_scaling(n: int, rng: "np.random.Generator"):
-    """Module-level builder (picklable) for the measured-scaling sweep."""
-    conns = random_connection_set(rng, n, 2 * n, 0.5, period_range=(10, 100))
-    conns = scale_connections_to_utilisation(conns, 0.8)
-    config = ScenarioConfig(n_nodes=n, connections=tuple(conns))
-    return build_simulation(config)
+def test_s11_measured_scaling(run_once, benchmark, bench_jobs, tmp_path):
+    """Measured scaling as a campaign: an ``n_nodes`` axis with
+    replicated random workloads, sharded and aggregated through the
+    campaign report's per-axis marginals."""
+    from repro.campaign import (
+        Campaign,
+        CampaignReport,
+        ResultStore,
+        WorkloadSpec,
+        run_campaign,
+    )
 
+    ns = (4, 8, 16)
+    campaign = Campaign(
+        name="s11-scaling",
+        base=ScenarioConfig(n_nodes=4),
+        n_slots=8000,
+        axes={"n_nodes": ns},
+        workload=WorkloadSpec(
+            n_connections=16, utilisation=0.8, period_min=10, period_max=100
+        ),
+        n_replications=5,
+        master_seed=11,
+    )
+    store = ResultStore(tmp_path / "store")
 
-def test_s11_measured_scaling(run_once, benchmark, bench_jobs):
     def sweep():
-        rows = []
-        for n in (4, 8, 16):
-            result = replicate(
-                partial(_build_scaling, n),
-                n_slots=8000,
-                n_jobs=bench_jobs,
-                metrics={
-                    "miss": lambda r: r.class_stats(
-                        TrafficClass.RT_CONNECTION
-                    ).deadline_miss_ratio,
-                    "latency": lambda r: r.class_stats(
-                        TrafficClass.RT_CONNECTION
-                    ).mean_latency_slots,
-                    "reuse": lambda r: r.spatial_reuse_factor,
-                    "util": lambda r: r.utilisation,
-                },
-                n_replications=5,
-                master_seed=11,
-            )
-            rows.append(
-                (
-                    n,
-                    result["miss"].mean,
-                    result["latency"].mean,
-                    result["latency"].sem,
-                    result["reuse"].mean,
-                    result["util"].mean,
-                )
-            )
-        return rows
+        run_campaign(campaign, store, n_jobs=bench_jobs)
+        return CampaignReport.from_store(campaign, store)
 
-    rows = run_once(sweep)
+    report = run_once(sweep)
+    assert report.complete
+    miss = report.marginals("rt_miss_ratio")["n_nodes"]
+    latency = report.marginals("rt_mean_latency_slots")["n_nodes"]
+    reuse = report.marginals("spatial_reuse_factor")["n_nodes"]
+    util = report.marginals("utilisation")["n_nodes"]
+    rows = [(n, miss[n], latency[n], reuse[n], util[n]) for n in ns]
     print_table(
         "S11b: measured scaling, U=0.8 random workload "
-        "(mean of 5 seeds; latency +/- SEM)",
-        ["N", "miss ratio", "mean latency", "SEM", "reuse", "utilisation"],
+        "(campaign marginals over 5 seeds)",
+        ["N", "miss ratio", "mean latency", "reuse", "utilisation"],
         rows,
     )
-    for n, miss, latency, _, reuse, util in rows:
-        assert miss == 0.0, f"N={n}: feasible load must not miss"
-        assert util > 0.9
+    for n in ns:
+        assert miss[n] == 0.0, f"N={n}: feasible load must not miss"
+        assert util[n] > 0.9
     # Reuse grows with ring size (more disjoint segments available).
-    reuses = [r[4] for r in rows]
-    assert reuses[-1] > reuses[0]
-    benchmark.extra_info["reuse_by_n"] = reuses
+    assert reuse[ns[-1]] > reuse[ns[0]]
+    benchmark.extra_info["reuse_by_n"] = [reuse[n] for n in ns]

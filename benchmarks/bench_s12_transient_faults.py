@@ -19,7 +19,7 @@ from repro.sim.fault_models import (
     ScriptedNodeOutages,
     TransientNodeFaults,
 )
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 N = 8
 HORIZON = 20_000
@@ -61,7 +61,7 @@ def test_s12_fault_rate_sweep(run_once, benchmark):
                 config = ScenarioConfig(
                     n_nodes=N, protocol=protocol, connections=workload(N)
                 )
-                sim = build_simulation(config, faults=faults)
+                sim = build_simulation(config, RunOptions(faults=faults))
                 report = sim.run(HORIZON)
                 rt = report.class_stats(TrafficClass.RT_CONNECTION)
                 a = report.availability_stats
@@ -111,7 +111,7 @@ def test_s12_rejoin_restores_steady_state(run_once, benchmark):
     def measure():
         faults = ScriptedNodeOutages({3: [(down, up)]}, recovery=TIMEOUT)
         config = ScenarioConfig(n_nodes=N, connections=workload(N))
-        sim = build_simulation(config, faults=faults, with_admission=True)
+        sim = build_simulation(config, RunOptions(faults=faults, with_admission=True))
         u_before = sim.admission.utilisation
         u_during = u_after = None
         missed_at_resync = 0

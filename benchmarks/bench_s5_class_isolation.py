@@ -13,7 +13,7 @@ from conftest import print_table
 
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.traffic.poisson import PoissonSource
 
 
@@ -63,7 +63,7 @@ def test_s5_rt_unaffected_by_background(run_once, benchmark):
                             rng=rng,
                         )
                     )
-            sim = build_simulation(config, extra_sources=extra)
+            sim = build_simulation(config, RunOptions(extra_sources=extra))
             report = sim.run(20_000)
             rt = report.class_stats(TrafficClass.RT_CONNECTION)
             be = report.class_stats(TrafficClass.BEST_EFFORT)
@@ -124,7 +124,7 @@ def test_s5_nrt_starved_before_be(run_once, benchmark):
                     traffic_class=TrafficClass.NON_REAL_TIME, rng=rng,
                 )
             )
-        sim = build_simulation(config, extra_sources=extra)
+        sim = build_simulation(config, RunOptions(extra_sources=extra))
         report = sim.run(20_000)
         be = report.class_stats(TrafficClass.BEST_EFFORT)
         nrt = report.class_stats(TrafficClass.NON_REAL_TIME)

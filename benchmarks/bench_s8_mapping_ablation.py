@@ -17,7 +17,7 @@ from conftest import print_table
 
 from repro.core.mapping import LinearMapping, LogarithmicMapping
 from repro.core.priorities import TrafficClass
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.traffic.periodic import random_connection_set
 from repro.traffic.sweeps import scale_connections_to_utilisation
 
@@ -78,7 +78,7 @@ def test_s8_miss_ratio_by_mapping(run_once, benchmark):
                 spatial_reuse=False,  # isolate pure scheduling quality
                 drop_late=True,
             )
-            sim = build_simulation(config, mapping=mapping)
+            sim = build_simulation(config, RunOptions(mapping=mapping))
             report = sim.run(30_000)
             rt = report.class_stats(TrafficClass.RT_CONNECTION)
             rows.append(

@@ -13,7 +13,7 @@ from conftest import print_table
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 from repro.sim.faults import FaultInjector
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 
 def workload(n):
@@ -47,7 +47,7 @@ def test_s9_control_loss_recovery_cost(run_once, benchmark):
                 else None
             )
             config = ScenarioConfig(n_nodes=n, connections=workload(n))
-            sim = build_simulation(config, faults=faults)
+            sim = build_simulation(config, RunOptions(faults=faults))
             report = sim.run(20_000)
             rt = report.class_stats(TrafficClass.RT_CONNECTION)
             rows.append(
@@ -87,7 +87,7 @@ def test_s9_node_failure_isolation(run_once, benchmark):
             node_failures={3: fail_slot}, recovery_timeout_s=2e-6
         )
         config = ScenarioConfig(n_nodes=n, connections=workload(n))
-        sim = build_simulation(config, faults=faults)
+        sim = build_simulation(config, RunOptions(faults=faults))
         report = sim.run(20_000)
         rt = report.class_stats(TrafficClass.RT_CONNECTION)
         # Expected releases: all nodes for 10k slots, all but node 3 after.

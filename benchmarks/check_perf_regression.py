@@ -13,6 +13,15 @@ Scenarios present on only one side are reported but never fail the
 check, so adding or renaming a bench does not break CI on its own PR.
 Timing noise on shared CI runners is why the default tolerance is a
 generous 30%: only genuine hot-path regressions trip it.
+
+Besides the run-over-run comparison, one *within-run* pair from the
+CURRENT file is gated tightly: the campaign executor
+(``campaign_executor``) against the raw worker batch executing the same
+seeded runs (``campaign_raw_batch``), both recorded interleaved by
+``bench_perf_simulator.py``.  Shared-runner speed cancels in that ratio,
+so the campaign layer's bookkeeping on-cost must stay under
+``--campaign-tolerance`` (default 10%).  The pair is soft-skipped when
+either scenario is absent (partial bench runs).
 """
 
 from __future__ import annotations
@@ -50,6 +59,33 @@ def compare(
     return regressions, notes
 
 
+def campaign_overhead(
+    current: dict,
+    raw: str = "campaign_raw_batch",
+    executor: str = "campaign_executor",
+) -> float | None:
+    """Fractional slowdown of the campaign executor vs the raw batch,
+    from one results file (``None`` when the pair was not recorded).
+
+    Uses the best-round rate when available, like
+    ``check_events_overhead.py``: one scheduler hiccup in either side's
+    rounds would dominate a mean-based ratio on a shared runner.
+    """
+    if raw not in current or executor not in current:
+        return None
+    key = (
+        "slots_per_s_best"
+        if "slots_per_s_best" in current[raw]
+        and "slots_per_s_best" in current[executor]
+        else "slots_per_s"
+    )
+    base = float(current[raw][key])
+    with_executor = float(current[executor][key])
+    if base <= 0:
+        return None
+    return 1.0 - with_executor / base
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
@@ -59,6 +95,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.30,
         help="allowed fractional slowdown per scenario (default 0.30)",
+    )
+    parser.add_argument(
+        "--campaign-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed campaign-executor overhead vs the raw worker batch, "
+        "within the current run (default 0.10)",
     )
     args = parser.parse_args(argv)
 
@@ -83,6 +126,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  ok   {line}")
     for line in regressions:
         print(f"  FAIL {line}")
+
+    slowdown = campaign_overhead(current)
+    if slowdown is None:
+        print("campaign overhead pair not recorded; skipping that gate")
+    else:
+        line = (
+            f"campaign executor overhead vs raw batch: {slowdown:+.1%} "
+            f"(gate {args.campaign_tolerance:.0%})"
+        )
+        if slowdown > args.campaign_tolerance:
+            print(f"  FAIL {line}")
+            regressions.append(line)
+        else:
+            print(f"  ok   {line}")
+
     if regressions:
         print(
             f"{len(regressions)} scenario(s) regressed more than "

@@ -15,7 +15,7 @@ from repro import ScenarioConfig, TrafficClass
 from repro.core.admission import AdmissionController
 from repro.core.connection import LogicalRealTimeConnection
 from repro.services.api import ConnectionClient, MessageInjector
-from repro.sim.runner import build_simulation, make_timing
+from repro.sim.runner import RunOptions, build_simulation, make_timing
 
 N_NODES = 8
 ADMISSION_NODE = 0
@@ -25,7 +25,7 @@ def main() -> None:
     config = ScenarioConfig(n_nodes=N_NODES)
     timing = make_timing(config)
     injectors = {i: MessageInjector(i) for i in range(N_NODES)}
-    sim = build_simulation(config, extra_sources=list(injectors.values()))
+    sim = build_simulation(config, RunOptions(extra_sources=tuple(injectors.values())))
     controller = AdmissionController(timing)
     client = ConnectionClient(sim, controller, ADMISSION_NODE, injectors)
 
@@ -45,7 +45,8 @@ def main() -> None:
     decisions = {}
     print("Phase 1 -- runtime set-up (costs are real network slots)")
     for conn in requests:
-        decision, cost = client.open(conn)
+        result = client.open_connection(conn)
+        decision, cost = result.decision, result.slots_used
         decisions[conn.connection_id] = (conn, decision)
         print(
             f"  node {conn.source} requests U={conn.utilisation:.3f}: "
@@ -64,14 +65,15 @@ def main() -> None:
     # Phase 2: tear one connection down, then retry the rejected one.
     # ------------------------------------------------------------------
     victim = requests[1]  # node 3's U=0.3 connection
-    cost = client.close(victim.connection_id)
+    cost = client.close_connection(victim.connection_id).slots_used
     print(f"\nPhase 2 -- node {victim.source} closes its connection "
           f"(cost {cost} slots); U(Ma)={controller.utilisation:.3f}")
 
     retry = LogicalRealTimeConnection(
         2, frozenset([6]), period_slots=10, size_slots=3
     )
-    decision, cost = client.open(retry)
+    result = client.open_connection(retry)
+    decision, cost = result.decision, result.slots_used
     print(
         f"  node 2 retries U={retry.utilisation:.3f}: "
         f"{'ACCEPTED' if decision.accepted else 'REJECTED'} "

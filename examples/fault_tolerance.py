@@ -19,7 +19,7 @@ Run:  python examples/fault_tolerance.py
 from repro import ScenarioConfig, TrafficClass
 from repro.core.connection import LogicalRealTimeConnection
 from repro.sim.faults import FaultInjector
-from repro.sim.runner import build_simulation, make_timing
+from repro.sim.runner import RunOptions, build_simulation, make_timing
 
 N_NODES = 8
 HORIZON = 40_000
@@ -42,7 +42,7 @@ def workload():
 
 def run(faults=None):
     config = ScenarioConfig(n_nodes=N_NODES, connections=workload())
-    sim = build_simulation(config, faults=faults)
+    sim = build_simulation(config, RunOptions(faults=faults))
     sim.run(HORIZON)
     return sim
 

@@ -18,7 +18,7 @@ import numpy as np
 from repro import ScenarioConfig, TrafficClass
 from repro.analysis.schedulability import wall_clock_connection
 from repro.core.admission import AdmissionController
-from repro.sim.runner import build_simulation, make_timing
+from repro.sim.runner import RunOptions, build_simulation, make_timing
 from repro.traffic.poisson import BurstySource
 
 N_NODES = 8
@@ -83,7 +83,7 @@ def main() -> None:
     ]
 
     config = ScenarioConfig(n_nodes=N_NODES, connections=tuple(admitted))
-    sim = build_simulation(config, extra_sources=background)
+    sim = build_simulation(config, RunOptions(extra_sources=background))
     n_slots = 200_000
     report = sim.run(n_slots)
 

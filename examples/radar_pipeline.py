@@ -20,7 +20,7 @@ import numpy as np
 
 from repro import ScenarioConfig, TrafficClass, run_scenario
 from repro.analysis.pessimism import ccfpr_node_feasible
-from repro.sim.runner import make_timing
+from repro.sim.runner import RunOptions, make_timing
 from repro.traffic.poisson import PoissonSource
 from repro.traffic.radar import radar_pipeline_connections
 
@@ -98,7 +98,9 @@ def main() -> None:
             drop_late=True,
         )
         report = run_scenario(
-            config, n_slots=20 * CPI_SLOTS, extra_sources=monitors
+            config,
+            n_slots=20 * CPI_SLOTS,
+            options=RunOptions(extra_sources=monitors),
         )
         rt = report.class_stats(TrafficClass.RT_CONNECTION)
         be = report.class_stats(TrafficClass.BEST_EFFORT)

@@ -35,7 +35,12 @@ from repro.phy.link import FibreRibbonLink
 from repro.ring.topology import RingTopology
 from repro.sim.engine import Simulation
 from repro.sim.metrics import SimulationReport
-from repro.sim.runner import ScenarioConfig, build_simulation, run_scenario
+from repro.sim.runner import (
+    RunOptions,
+    ScenarioConfig,
+    build_simulation,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -52,6 +57,7 @@ __all__ = [
     "RingTopology",
     "Simulation",
     "SimulationReport",
+    "RunOptions",
     "ScenarioConfig",
     "build_simulation",
     "run_scenario",

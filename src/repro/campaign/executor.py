@@ -1,0 +1,184 @@
+"""Campaign execution: sharded, cached, resumable.
+
+:func:`run_campaign` walks the expanded run list, skips every run whose
+key is already in the store, and executes the rest -- serially or
+sharded across a ``ProcessPoolExecutor``.  Each run goes through
+:func:`repro.sim.parallel.run_one`, the same bit-identical worker unit
+``replicate_parallel`` uses, so a run's result depends only on its
+:class:`~repro.campaign.grid.RunSpec` -- never on scheduling, job
+count, or which earlier runs were served from cache.
+
+Every completed run is persisted *as it finishes* (atomic write), so an
+interrupt at any point loses at most the in-flight runs; the next
+invocation resumes from the store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.grid import RunSpec, expand_runs
+from repro.campaign.spec import Campaign
+from repro.campaign.store import ResultStore, run_key
+from repro.report import report_row
+from repro.sim.engine import Simulation
+from repro.sim.parallel import resolve_jobs, run_one
+from repro.sim.runner import RunOptions
+from repro.traffic.sweeps import random_workload
+
+
+def _build_run(spec: RunSpec, rng: np.random.Generator) -> Simulation:
+    """Build the simulation for one run (module-level: crosses the
+    process boundary as ``partial(_build_run, spec)`` would -- here we
+    ship the spec itself and rebuild in the worker).
+
+    When the run carries a :class:`~repro.campaign.spec.WorkloadSpec`,
+    the connection set is drawn from the *same* generator that then
+    drives the simulation, so workload and dynamics both derive from the
+    run's single seed.
+    """
+    config = spec.point.config
+    workload = spec.point.workload
+    if workload is not None:
+        connections = random_workload(
+            rng,
+            n_nodes=config.n_nodes,
+            n_connections=workload.n_connections,
+            utilisation=workload.utilisation,
+            period_range=(workload.period_min, workload.period_max),
+        )
+        config = dataclasses.replace(config, connections=tuple(connections))
+    return Simulation.from_scenario(config, RunOptions())
+
+
+def execute_run(spec: RunSpec) -> dict:
+    """Execute one run and return its JSON-ready stored document.
+
+    The document separates the deterministic report ``row`` (identity
+    columns + :data:`repro.report.REPORT_FIELDS`) from host-side
+    ``meta`` (elapsed seconds), so reports assembled from cache are
+    byte-identical to freshly computed ones.
+    """
+    t0 = time.perf_counter()
+    seed = np.random.SeedSequence(entropy=spec.seed_entropy)
+
+    def build(rng: np.random.Generator) -> Simulation:
+        return _build_run(spec, rng)
+
+    report, _ = run_one(build, seed, spec.point.n_slots)
+    elapsed = time.perf_counter() - t0
+    row: dict = {
+        "point": spec.point.index,
+        "replication": spec.replication,
+        "run_key": run_key(spec),
+        "seed": list(spec.seed_entropy),
+    }
+    for axis, value in spec.point.overrides:
+        row[_axis_column(axis)] = value
+    row.update(report_row(report))
+    return {
+        "row": row,
+        "meta": {"elapsed_host_s": elapsed},
+    }
+
+
+#: Identity columns every campaign report row starts with.
+IDENTITY_FIELDS: tuple[str, ...] = ("point", "replication", "run_key", "seed")
+
+
+def _axis_column(axis: str) -> str:
+    """The report column an axis lands in.
+
+    Axis names that collide with an identity column or a report field
+    (``utilisation``, ``n_nodes``, ...) are prefixed ``target_`` -- the
+    axis records what was *asked for*, the report field what was
+    *achieved*.
+    """
+    from repro.report import REPORT_FIELDS
+
+    if axis in IDENTITY_FIELDS or axis in REPORT_FIELDS:
+        return f"target_{axis}"
+    return axis
+
+
+@dataclass(frozen=True)
+class ExecutionSummary:
+    """What one ``run_campaign`` invocation did."""
+
+    total: int
+    executed: int
+    skipped: int
+    #: Runs left undone because ``limit`` stopped the invocation early.
+    remaining: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every run of the campaign is now in the store."""
+        return self.remaining == 0
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: ResultStore,
+    n_jobs: int = 1,
+    limit: int | None = None,
+) -> ExecutionSummary:
+    """Execute (the uncached remainder of) a campaign into a store.
+
+    Parameters
+    ----------
+    campaign, store:
+        The spec and the result store; the spec snapshot is saved into
+        the store so ``status``/``report`` work from the directory
+        alone.
+    n_jobs:
+        Worker processes (``<= 0`` = one per available CPU, ``1`` =
+        in-process serial).
+    limit:
+        Execute at most this many *new* runs, then stop -- cached runs
+        do not count.  This is the deterministic stand-in for an
+        interrupt (CI smoke and the resume tests use it), and a way to
+        chip at long campaigns in bounded sessions.
+    """
+    store.save_campaign(campaign)
+    pending: list[tuple[str, RunSpec]] = []
+    skipped = 0
+    total = 0
+    for spec in expand_runs(campaign):
+        total += 1
+        key = run_key(spec)
+        if key in store:
+            skipped += 1
+        else:
+            pending.append((key, spec))
+
+    todo = pending if limit is None else pending[:limit]
+    jobs = min(resolve_jobs(n_jobs), max(len(todo), 1))
+
+    if jobs <= 1:
+        for key, spec in todo:
+            store.save(key, execute_run(spec))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(execute_run, spec): key for key, spec in todo
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                # Persist as results land so an interrupt loses only the
+                # in-flight runs, never the finished ones.
+                for fut in done:
+                    store.save(futures[fut], fut.result())
+
+    return ExecutionSummary(
+        total=total,
+        executed=len(todo),
+        skipped=skipped,
+        remaining=len(pending) - len(todo),
+    )

@@ -1,0 +1,117 @@
+"""Grid expansion: from a campaign spec to concrete runs.
+
+The expansion is pure and deterministic: the same :class:`Campaign`
+always yields the same ordered sequence of :class:`GridPoint` and
+:class:`RunSpec` values, which is what makes run indices (and therefore
+seeds and store keys) stable across resumes and across machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaign.spec import (
+    SCENARIO_AXES,
+    Campaign,
+    WorkloadSpec,
+)
+from repro.sim.runner import ScenarioConfig
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the campaign grid: a fully resolved scenario.
+
+    ``overrides`` records just the axis values that distinguish this
+    point (in axis order), while ``config``/``workload``/``n_slots``
+    carry the resolved inputs a run needs.
+    """
+
+    #: Position in row-major expansion order (0-based).
+    index: int
+    #: ``(axis, value)`` pairs in axis declaration order.
+    overrides: tuple[tuple[str, Any], ...]
+    config: ScenarioConfig
+    workload: WorkloadSpec | None
+    n_slots: int
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable run: a grid point plus a replication index.
+
+    ``seed_entropy`` is the run's whole random identity: a
+    :class:`numpy.random.SeedSequence` built from it drives workload
+    generation and the simulation itself, so the result is a pure
+    function of ``(campaign spec, point index, replication)``.
+    """
+
+    point: GridPoint
+    replication: int
+    master_seed: int
+
+    @property
+    def seed_entropy(self) -> tuple[int, int, int]:
+        """Entropy tuple for this run's :class:`numpy.random.SeedSequence`."""
+        return (self.master_seed, self.point.index, self.replication)
+
+
+def expand_grid(campaign: Campaign) -> list[GridPoint]:
+    """All grid points of a campaign, in row-major axis order.
+
+    The last declared axis varies fastest (like nested for-loops over
+    the axes as written).  An axis-less campaign yields the single base
+    point.
+    """
+    points: list[GridPoint] = []
+    names = campaign.axis_names
+    value_lists = [values for _, values in campaign.axes]
+    for index, combo in enumerate(itertools.product(*value_lists)):
+        overrides = tuple(zip(names, combo))
+        config = campaign.base
+        workload = campaign.workload
+        n_slots = campaign.n_slots
+        scenario_changes: dict[str, Any] = {}
+        workload_changes: dict[str, Any] = {}
+        for axis, value in overrides:
+            if axis == "n_slots":
+                n_slots = int(value)
+            elif axis in SCENARIO_AXES:
+                scenario_changes[axis] = value
+            else:  # validated as a workload axis by Campaign
+                workload_changes[axis] = value
+        if scenario_changes:
+            config = dataclasses.replace(config, **scenario_changes)
+        if workload_changes:
+            assert workload is not None  # Campaign.__post_init__ guarantees
+            workload = dataclasses.replace(workload, **workload_changes)
+        points.append(
+            GridPoint(
+                index=index,
+                overrides=overrides,
+                config=config,
+                workload=workload,
+                n_slots=n_slots,
+            )
+        )
+    return points
+
+
+def expand_runs(campaign: Campaign) -> Iterator[RunSpec]:
+    """Every run of the campaign: grid points x replications, in order.
+
+    Iteration order is the canonical report order: point-major, then
+    replication -- the same order a serial uninterrupted execution would
+    produce results in.
+    """
+    for point in expand_grid(campaign):
+        for replication in range(campaign.n_replications):
+            yield RunSpec(
+                point=point,
+                replication=replication,
+                master_seed=campaign.master_seed,
+            )

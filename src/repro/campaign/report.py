@@ -1,0 +1,136 @@
+"""Cross-scenario campaign reports.
+
+A :class:`CampaignReport` assembles the store's cached rows back into
+**grid order** (point-major, then replication), independent of the
+order runs actually executed in or how many invocations it took to fill
+the store.  That makes the aggregate artifact bit-identical between an
+uninterrupted serial campaign and any interrupted/resumed/sharded
+history -- the property the resume tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.executor import IDENTITY_FIELDS, _axis_column, run_key
+from repro.campaign.grid import expand_runs
+from repro.campaign.spec import Campaign
+from repro.campaign.store import ResultStore
+from repro.obs.manifest import RunManifest, _json_default
+from repro.report import REPORT_FIELDS, write_rows_csv
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Long-form cross-scenario results of one campaign."""
+
+    campaign: Campaign
+    #: Report columns in order: identity, axes, then report fields.
+    fieldnames: tuple[str, ...]
+    #: One row per completed run, in grid order.
+    rows: tuple[dict[str, Any], ...]
+    #: Keys of runs the store does not hold yet (campaign incomplete).
+    missing: tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every run of the campaign had a cached result."""
+        return not self.missing
+
+    # -- assembly -------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls, campaign: Campaign, store: ResultStore
+    ) -> "CampaignReport":
+        """Collect every cached run of the campaign, in grid order."""
+        axis_columns = tuple(
+            _axis_column(name) for name in campaign.axis_names
+        )
+        fieldnames = IDENTITY_FIELDS + axis_columns + REPORT_FIELDS
+        rows: list[dict[str, Any]] = []
+        missing: list[str] = []
+        for spec in expand_runs(campaign):
+            key = run_key(spec)
+            if key in store:
+                rows.append(store.load(key)["row"])
+            else:
+                missing.append(key)
+        return cls(
+            campaign=campaign,
+            fieldnames=fieldnames,
+            rows=tuple(rows),
+            missing=tuple(missing),
+        )
+
+    # -- aggregation ----------------------------------------------------
+
+    def marginals(self, metric: str) -> dict[str, dict[Any, float]]:
+        """Per-axis marginal means of one report metric.
+
+        For each axis, rows are grouped by the axis value and the metric
+        averaged over everything else (all other axes and all
+        replications); NaN cells are skipped.  Groups with no defined
+        values come back as NaN.
+        """
+        if metric not in self.fieldnames:
+            raise ValueError(f"unknown metric {metric!r}")
+        out: dict[str, dict[Any, float]] = {}
+        for name, values in self.campaign.axes:
+            column = _axis_column(name)
+            per_value: dict[Any, float] = {}
+            for value in values:
+                samples = [
+                    float(row[metric])
+                    for row in self.rows
+                    if row[column] == value
+                    and not _is_nan(row[metric])
+                ]
+                per_value[value] = (
+                    statistics.fmean(samples) if samples else float("nan")
+                )
+            out[name] = per_value
+        return out
+
+    # -- artifacts ------------------------------------------------------
+
+    def to_csv(
+        self, path: str | Path, manifest: "RunManifest | None" = None
+    ) -> Path:
+        """Write the long-form rows as CSV (repo-standard NaN spelling,
+        optional manifest sibling)."""
+        return write_rows_csv(path, self.fieldnames, self.rows, manifest)
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write rows + per-axis marginals as one JSON document."""
+        path = Path(path)
+        doc = {
+            "campaign": self.campaign.to_dict(),
+            "fieldnames": list(self.fieldnames),
+            "rows": [_json_row(row) for row in self.rows],
+            "marginals": {
+                metric: self.marginals(metric)
+                for metric in ("rt_miss_ratio", "rt_mean_latency_slots")
+                if self.rows
+            },
+            "missing": len(self.missing),
+        }
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True, default=_json_default)
+            + "\n"
+        )
+        return path
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _json_row(row: dict[str, Any]) -> dict[str, Any]:
+    """NaN is not valid JSON; spell it as ``None`` in the JSON artifact."""
+    return {k: (None if _is_nan(v) else v) for k, v in row.items()}

@@ -1,0 +1,253 @@
+"""Declarative campaign specifications.
+
+A :class:`Campaign` names an experiment design: a base
+:class:`~repro.sim.runner.ScenarioConfig`, axes of parameter overrides
+whose Cartesian product spans the design space, a replication count, and
+the slot budget per run.  The spec is a plain value -- hashable,
+JSON-round-trippable -- so the same campaign can be launched from
+Python, from a committed JSON file, or resumed weeks later against the
+same on-disk store (see :mod:`repro.campaign.store`).
+
+Axes override either scenario fields (``protocol``, ``n_nodes``,
+``drop_late``, ...), workload fields of the per-run random workload
+(``utilisation``, ``n_connections``, ...), or the special axis
+``n_slots``.  Axis order is significant: the grid expands in
+row-major order over the axes as declared, which fixes run indices,
+seeds, and therefore the cache keys of every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.connection import LogicalRealTimeConnection
+from repro.sim.fault_models import FaultConfig
+from repro.sim.runner import PROTOCOLS, ScenarioConfig
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Random periodic workload drawn fresh from each run's seed.
+
+    Replications of a grid point share these parameters but draw
+    independent connection sets (and arrival noise) from their own
+    seeds, so replicated campaign metrics average over workload
+    randomness the way :func:`repro.sim.batch.replicate` does.
+    """
+
+    #: Number of periodic connections in the set.
+    n_connections: int = 12
+    #: Target total utilisation the set is rescaled to.
+    utilisation: float = 0.7
+    #: Log-uniform period range in slots.
+    period_min: int = 10
+    period_max: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_connections < 1:
+            raise ValueError(
+                f"need at least one connection, got {self.n_connections}"
+            )
+        if not 0.0 < self.utilisation:
+            raise ValueError(
+                f"utilisation must be positive, got {self.utilisation}"
+            )
+        if not 1 <= self.period_min <= self.period_max:
+            raise ValueError(
+                f"bad period range [{self.period_min}, {self.period_max}]"
+            )
+
+
+#: Scenario fields an axis may override.  ``connections`` and
+#: ``fault_config`` are compound values that belong in the base config,
+#: not on an axis.
+SCENARIO_AXES = frozenset(
+    f.name for f in dataclasses.fields(ScenarioConfig)
+) - {"connections", "fault_config"}
+
+#: Workload fields an axis may override (requires a workload spec).
+WORKLOAD_AXES = frozenset(f.name for f in dataclasses.fields(WorkloadSpec))
+
+#: The non-config axis: per-run slot budget.
+SPECIAL_AXES = frozenset({"n_slots"})
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative multi-scenario sweep.
+
+    Parameters
+    ----------
+    name:
+        Campaign identifier; used for the default store directory and
+        recorded in every artifact.
+    base:
+        The scenario every grid point starts from.
+    n_slots:
+        Slots per run (overridable through an ``n_slots`` axis).
+    axes:
+        Mapping (or sequence of pairs) from axis name to the values it
+        sweeps.  The grid is the Cartesian product in declaration
+        order.
+    workload:
+        Optional per-run random workload; required when any axis
+        targets a workload field.  When present it *replaces* the base
+        scenario's connections.
+    n_replications:
+        Independent replications per grid point (>= 1).
+    master_seed:
+        Root of the deterministic per-run seed derivation.
+    """
+
+    name: str
+    base: ScenarioConfig
+    n_slots: int
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    workload: WorkloadSpec | None = None
+    n_replications: int = 1
+    master_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"bad campaign name {self.name!r}")
+        if self.n_slots < 0:
+            raise ValueError(f"slot count must be >= 0, got {self.n_slots}")
+        if self.n_replications < 1:
+            raise ValueError(
+                f"need at least one replication, got {self.n_replications}"
+            )
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple(
+            (str(name), tuple(values)) for name, values in axes
+        )
+        object.__setattr__(self, "axes", axes)
+        seen = set()
+        for axis, values in axes:
+            if axis in seen:
+                raise ValueError(f"duplicate axis {axis!r}")
+            seen.add(axis)
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+            if axis in WORKLOAD_AXES and axis not in SCENARIO_AXES:
+                if self.workload is None:
+                    raise ValueError(
+                        f"axis {axis!r} overrides the workload, but the "
+                        "campaign declares no WorkloadSpec"
+                    )
+            elif axis not in SCENARIO_AXES and axis not in SPECIAL_AXES:
+                known = sorted(SCENARIO_AXES | WORKLOAD_AXES | SPECIAL_AXES)
+                raise ValueError(
+                    f"unknown axis {axis!r}; choose from {known}"
+                )
+            if axis == "protocol":
+                for v in values:
+                    if v not in PROTOCOLS:
+                        raise ValueError(
+                            f"axis 'protocol' value {v!r} not in {PROTOCOLS}"
+                        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """Axis names in declaration (= expansion) order."""
+        return tuple(name for name, _ in self.axes)
+
+    @property
+    def grid_size(self) -> int:
+        """Number of grid points (product of axis lengths)."""
+        return math.prod(len(values) for _, values in self.axes) if self.axes else 1
+
+    @property
+    def total_runs(self) -> int:
+        """Grid points times replications."""
+        return self.grid_size * self.n_replications
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The spec as a JSON-ready dict (inverse of :meth:`from_dict`)."""
+        from repro.obs.manifest import scenario_to_dict
+
+        return {
+            "name": self.name,
+            "n_slots": self.n_slots,
+            "replications": self.n_replications,
+            "seed": self.master_seed,
+            "base": scenario_to_dict(self.base),
+            "workload": (
+                dataclasses.asdict(self.workload)
+                if self.workload is not None
+                else None
+            ),
+            "axes": [[name, list(values)] for name, values in self.axes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "Campaign":
+        """Build a campaign from :meth:`to_dict` output / a JSON spec.
+
+        ``axes`` accepts both the mapping form (``{"protocol": [...]}``,
+        the natural hand-written spelling) and the order-preserving
+        pair-list form ``[["protocol", [...]], ...]`` that
+        :meth:`to_dict` emits.
+        """
+        known = {"name", "n_slots", "replications", "seed", "base",
+                 "workload", "axes"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
+        base_raw = dict(raw.get("base") or {})
+        conns = base_raw.pop("connections", None)
+        if conns:
+            base_raw["connections"] = tuple(
+                _connection_from_dict(c) for c in conns
+            )
+        fault_raw = base_raw.pop("fault_config", None)
+        if fault_raw:
+            if "immortal_nodes" in fault_raw:
+                fault_raw = dict(fault_raw)
+                fault_raw["immortal_nodes"] = frozenset(
+                    fault_raw["immortal_nodes"]
+                )
+            base_raw["fault_config"] = FaultConfig(**fault_raw)
+        if "n_nodes" not in base_raw:
+            raise ValueError("campaign base must declare n_nodes")
+        base = ScenarioConfig(**base_raw)
+        workload = raw.get("workload")
+        if workload is not None:
+            workload = WorkloadSpec(**workload)
+        axes = raw.get("axes") or ()
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        else:
+            axes = tuple((name, tuple(values)) for name, values in axes)
+        return cls(
+            name=raw["name"],
+            base=base,
+            n_slots=int(raw["n_slots"]),
+            axes=axes,
+            workload=workload,
+            n_replications=int(raw.get("replications", 1)),
+            master_seed=int(raw.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> "Campaign":
+        """Load a campaign spec from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _connection_from_dict(raw: Mapping[str, Any]) -> LogicalRealTimeConnection:
+    """Rebuild a connection from its JSON form (manifest convention)."""
+    kwargs = dict(raw)
+    kwargs["destinations"] = frozenset(kwargs["destinations"])
+    return LogicalRealTimeConnection(**kwargs)

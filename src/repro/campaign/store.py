@@ -1,0 +1,128 @@
+"""On-disk result store with content-addressed run caching.
+
+Each finished run is persisted as ``runs/<key>.json`` where ``key`` is
+a :func:`repro.obs.manifest.fingerprint` over everything that determines
+the result: the resolved scenario, the workload spec, the slot budget,
+the run's seed entropy, and the package version.  Identity by content
+means:
+
+* an interrupted campaign resumes by skipping every key already on
+  disk -- no journal, no partial-state file to reconcile;
+* two campaigns sharing grid points share cached runs;
+* any change to the config, the seed derivation, or the code version
+  changes the key and forces a re-run instead of serving stale rows.
+
+Writes are atomic (tmp file + ``os.replace``) so a run killed mid-write
+never leaves a truncated JSON behind to poison a resume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.campaign.grid import RunSpec
+from repro.campaign.spec import Campaign
+from repro.obs.manifest import (
+    _json_default,
+    fingerprint,
+    package_version,
+    scenario_to_dict,
+)
+
+
+def run_key(spec: RunSpec) -> str:
+    """The content-addressed cache key of one run.
+
+    Deliberately excludes the campaign *name*: two campaigns asking for
+    the same (config, workload, slots, seed) at the same code version
+    describe the same run and share its cached result.
+    """
+    payload = {
+        "config": scenario_to_dict(spec.point.config),
+        "workload": (
+            dataclasses.asdict(spec.point.workload)
+            if spec.point.workload is not None
+            else None
+        ),
+        "n_slots": spec.point.n_slots,
+        "seed": list(spec.seed_entropy),
+        "code_version": package_version(),
+    }
+    return fingerprint(payload)
+
+
+class ResultStore:
+    """Directory-backed store of finished campaign runs.
+
+    Layout::
+
+        <root>/
+          campaign.json        # spec snapshot of the last campaign run here
+          runs/<key>.json      # one JSON row per completed run
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- campaign snapshot ---------------------------------------------
+
+    @property
+    def spec_path(self) -> Path:
+        """Where the campaign spec snapshot lives in this store."""
+        return self.root / "campaign.json"
+
+    def save_campaign(self, campaign: Campaign) -> Path:
+        """Snapshot the campaign spec (so ``status``/``report`` need only
+        the store directory)."""
+        return self._write_json(self.spec_path, campaign.to_dict())
+
+    def load_campaign(self) -> Campaign:
+        """The campaign last saved into this store."""
+        if not self.spec_path.exists():
+            raise FileNotFoundError(
+                f"no campaign snapshot at {self.spec_path}; "
+                "run the campaign (or pass --spec) first"
+            )
+        return Campaign.from_dict(json.loads(self.spec_path.read_text()))
+
+    # -- run rows -------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """The file one run's document lives at."""
+        return self.runs_dir / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def save(self, key: str, row: dict) -> Path:
+        """Persist one finished run atomically."""
+        return self._write_json(self.path_for(key), row)
+
+    def load(self, key: str) -> dict:
+        """Load one cached run's document back."""
+        return json.loads(self.path_for(key).read_text())
+
+    def keys(self) -> list[str]:
+        """Keys of every cached run, sorted (content order, not grid
+        order -- the report re-orders via the grid)."""
+        return sorted(p.stem for p in self.runs_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.runs_dir.glob("*.json"))
+
+    # -- internals ------------------------------------------------------
+
+    def _write_json(self, path: Path, payload: dict) -> Path:
+        """Atomic JSON write: tmp sibling + rename."""
+        text = json.dumps(
+            payload, indent=2, sort_keys=True, default=_json_default
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text + "\n")
+        os.replace(tmp, path)
+        return path

@@ -11,7 +11,9 @@ Three subcommands cover the common workflows without writing a script:
 * ``analyze``  -- admission-test a set of (period, size) connection specs
   and print per-connection worst-case response times and headroom;
 * ``inspect``  -- replay a JSONL event log (``simulate --events``) and
-  print its reconstructed totals.
+  print its reconstructed totals;
+* ``campaign`` -- run / resume / report a declarative multi-scenario
+  sweep from a JSON spec (see ``docs/CAMPAIGNS.md``).
 
 Examples::
 
@@ -21,6 +23,8 @@ Examples::
     python -m repro inspect run.jsonl
     python -m repro compare --nodes 8 --utilisation 0.9 --seed 7
     python -m repro analyze --nodes 8 --spec 10:2 --spec 25:5
+    python -m repro campaign run --spec sweep.json --store results/ --jobs 4
+    python -m repro campaign report --store results/ --csv sweep.csv
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.core.priorities import TrafficClass
 from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import (
     PROTOCOLS,
+    RunOptions,
     ScenarioConfig,
     make_timing,
     run_scenario,
@@ -401,9 +406,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     report = run_scenario(
         config,
         n_slots=args.slots,
-        profiler=profiler,
-        trace=trace,
-        observer=observer,
+        options=RunOptions(profiler=profiler, trace=trace, observer=observer),
     )
     elapsed = _time.perf_counter() - t0
     if observer is not None:
@@ -503,6 +506,117 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{protocol:10s} {miss:8.4f} {lat:8.2f} {util:7.4f} "
             f"{reuse:6.2f} {breaks:7d} {avail:7.4f}"
         )
+    return 0
+
+
+def _campaign_for(args: argparse.Namespace):
+    """Resolve (campaign, store) for the campaign subcommands.
+
+    ``--spec`` loads a JSON campaign spec; without it the spec snapshot
+    saved in the store directory by a previous ``run`` is used.
+    """
+    from repro.campaign import Campaign, ResultStore
+
+    store = ResultStore(args.store)
+    if args.spec:
+        campaign = Campaign.from_json_file(args.spec)
+    else:
+        campaign = store.load_campaign()
+    return campaign, store
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """``campaign run``: execute the uncached remainder of a campaign."""
+    import time as _time
+
+    from repro.campaign import run_campaign
+
+    try:
+        campaign, store = _campaign_for(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign '{campaign.name}': {campaign.grid_size} grid points x "
+          f"{campaign.n_replications} replications = "
+          f"{campaign.total_runs} runs -> {store.root}")
+    t0 = _time.perf_counter()
+    summary = run_campaign(
+        campaign, store, n_jobs=args.jobs, limit=args.limit
+    )
+    elapsed = _time.perf_counter() - t0
+    print(f"  executed {summary.executed}, skipped {summary.skipped} cached, "
+          f"{summary.remaining} remaining ({elapsed:.2f} s)")
+    if not summary.complete:
+        print("  campaign incomplete; rerun to continue (cached runs are "
+              "skipped)")
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """``campaign status``: cached/pending runs of a campaign."""
+    from repro.campaign import expand_runs, run_key
+
+    try:
+        campaign, store = _campaign_for(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    done = sum(1 for spec in expand_runs(campaign) if run_key(spec) in store)
+    total = campaign.total_runs
+    print(f"campaign '{campaign.name}' in {store.root}")
+    print(f"  grid     : {campaign.grid_size} points "
+          f"({' x '.join(campaign.axis_names) or 'no axes'})")
+    print(f"  runs     : {done}/{total} cached "
+          f"({total - done} pending)")
+    print(f"  store    : {len(store)} result files")
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """``campaign report``: aggregate the store into CSV/JSON artifacts."""
+    from repro.campaign import CampaignReport
+
+    try:
+        campaign, store = _campaign_for(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    report = CampaignReport.from_store(campaign, store)
+    if not report.complete and not args.partial:
+        print(
+            f"{len(report.missing)} of {campaign.total_runs} runs not "
+            "cached yet; `campaign run` to finish, or --partial to "
+            "report what is there",
+            file=sys.stderr,
+        )
+        return 2
+    if args.csv:
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest.collect(
+            master_seed=campaign.master_seed,
+            n_slots=campaign.n_slots,
+            extra={"argv": list(sys.argv), "campaign": campaign.name,
+                   "rows": len(report.rows)},
+        )
+        path = report.to_csv(args.csv, manifest=manifest)
+        print(f"rows written        : {len(report.rows)} -> {path}")
+    if args.json:
+        path = report.to_json(args.json)
+        print(f"json written        : {path}")
+    for metric in args.marginal:
+        try:
+            marginals = report.marginals(metric)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"marginal means of {metric}:")
+        for axis, per_value in marginals.items():
+            for value, mean in per_value.items():
+                print(f"  {axis:16s} = {value!s:12s}: {mean:.4f}")
+    if not (args.csv or args.json or args.marginal):
+        print(f"campaign '{campaign.name}': {len(report.rows)} rows "
+              f"({len(report.missing)} missing); use --csv/--json/--marginal")
     return 0
 
 
@@ -655,6 +769,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="connection spec in slots (repeatable), e.g. --spec 10:2",
     )
     p_ana.set_defaults(func=cmd_analyze)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="declarative multi-scenario sweeps (run / status / report)",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            required=True,
+            metavar="DIR",
+            help="result store directory (created on first run)",
+        )
+        p.add_argument(
+            "--spec",
+            metavar="JSON",
+            default=None,
+            help="campaign spec file; optional after the first run "
+            "(the store keeps a snapshot)",
+        )
+
+    p_crun = camp_sub.add_parser(
+        "run", help="execute the campaign's uncached runs into the store"
+    )
+    _add_campaign_common(p_crun)
+    p_crun.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="J",
+        help="worker processes (default 1 = serial; 0 = one per CPU); "
+        "results are bit-identical regardless",
+    )
+    p_crun.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N new runs then stop (resume later; "
+        "cached runs never count)",
+    )
+    p_crun.set_defaults(func=cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser(
+        "status", help="show cached vs pending runs of a campaign"
+    )
+    _add_campaign_common(p_cstat)
+    p_cstat.set_defaults(func=cmd_campaign_status)
+
+    p_crep = camp_sub.add_parser(
+        "report", help="aggregate the store into CSV/JSON artifacts"
+    )
+    _add_campaign_common(p_crep)
+    p_crep.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="write long-form rows as CSV (plus a manifest sibling)",
+    )
+    p_crep.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write rows + per-axis marginals as JSON",
+    )
+    p_crep.add_argument(
+        "--marginal",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="print per-axis marginal means of METRIC (repeatable), "
+        "e.g. --marginal rt_miss_ratio",
+    )
+    p_crep.add_argument(
+        "--partial",
+        action="store_true",
+        help="report even when some runs are not cached yet",
+    )
+    p_crep.set_defaults(func=cmd_campaign_report)
 
     p_ins = sub.add_parser(
         "inspect",

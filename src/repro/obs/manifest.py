@@ -11,6 +11,7 @@ be regenerated from its artifact alone.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import platform
 import subprocess
@@ -75,6 +76,24 @@ def scenario_to_dict(config) -> dict:
     # Round-trip through JSON so frozensets etc. become lists now, not at
     # write time -- the manifest dict is then inspectable as-is.
     return json.loads(json.dumps(raw, default=_json_default))
+
+
+def fingerprint(payload: Any, *, length: int = 20) -> str:
+    """A stable content hash of any JSON-serialisable payload.
+
+    Canonicalises through the same JSON encoding the manifests use
+    (sorted keys, :func:`_json_default` for dataclasses/frozensets), so
+    two payloads hash equal exactly when their manifests would be
+    byte-identical.  The campaign store keys cached runs on
+    ``fingerprint({config, seed, n_slots, code_version, ...})``: any
+    change to the scenario, the seed derivation, or the package version
+    yields a new key and forces a re-run instead of serving stale
+    results.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
 
 
 @dataclasses.dataclass

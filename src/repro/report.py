@@ -151,6 +151,33 @@ def write_report_csv(
     return path
 
 
+def write_rows_csv(
+    path: str | Path,
+    fieldnames: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+    manifest: "RunManifest | None" = None,
+) -> Path:
+    """Write pre-flattened rows as CSV under this module's conventions.
+
+    The campaign reporter (and any other producer of long-form rows)
+    funnels through here so every CSV in the repo shares one NaN
+    spelling (:data:`CSV_NAN`) and one manifest-sibling convention.
+    Rows may omit trailing fields but must not carry unknown keys.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            unknown = set(row) - set(fieldnames)
+            if unknown:
+                raise ValueError(f"row carries unknown fields: {sorted(unknown)}")
+            writer.writerow(_csv_row(row))
+    if manifest is not None:
+        manifest.write(manifest_path_for(path))
+    return path
+
+
 def write_connection_csv(
     path: str | Path,
     report: SimulationReport,

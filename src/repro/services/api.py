@@ -18,6 +18,7 @@ connection's traffic may start flowing.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -114,6 +115,33 @@ class MessageInjector(TrafficSource):
         return released
 
 
+@dataclass(frozen=True)
+class SignallingResult:
+    """Outcome of one Section 6 connection-management dialogue.
+
+    Open and close report the same shape: the admission decision (always
+    present on open; ``None`` on close, which cannot be refused), the
+    number of network slots the signalling consumed, and how many
+    request/reply round-trips were performed (``0`` when the requesting
+    node *is* the admission node, ``1`` otherwise -- each round-trip is
+    2 best-effort messages).
+    """
+
+    decision: AdmissionDecision | None
+    slots_used: int
+    round_trips: int
+
+    @property
+    def accepted(self) -> bool:
+        """True when there is no decision to refuse, or it accepted."""
+        return self.decision is None or self.decision.accepted
+
+    @property
+    def messages_sent(self) -> int:
+        """Best-effort signalling messages the dialogue consumed."""
+        return 2 * self.round_trips
+
+
 class ConnectionClient:
     """Runtime connection set-up/tear-down through the admission node.
 
@@ -122,10 +150,14 @@ class ConnectionClient:
     best-effort message from the connection's source to the admission
     node, applies the admission test on arrival, sends the reply back,
     and only then (on acceptance) activates the connection's periodic
-    source.
+    source.  Tear-down runs the same 2-message dialogue in reverse.
 
     Drives the supplied simulation while waiting, so the signalling cost
-    is measured in real network slots.
+    is measured in real network slots.  :meth:`open_connection` and
+    :meth:`close_connection` return a symmetric
+    :class:`SignallingResult`; the older :meth:`open`/:meth:`close`
+    return the historic ``(decision, slots)`` tuple / bare ``int`` and
+    emit a :class:`DeprecationWarning`.
     """
 
     #: Relative deadline for signalling messages (best-effort class).
@@ -160,68 +192,113 @@ class ConnectionClient:
             self.sim.step()
         return self.sim.current_slot - start
 
-    def open(
+    def _signal(self, src: int, dst: int, max_slots: int) -> int:
+        """One best-effort signalling leg from ``src`` to ``dst``."""
+        leg = self.injectors[src].submit(
+            destinations=[dst],
+            traffic_class=TrafficClass.BEST_EFFORT,
+            relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
+        )
+        return self._await_delivery(leg, max_slots)
+
+    def open_connection(
         self,
         connection: LogicalRealTimeConnection,
         max_wait_slots: int = 10_000,
-    ) -> tuple[AdmissionDecision, int]:
+    ) -> SignallingResult:
         """Request admission of a connection; activate it if accepted.
 
-        Returns the admission decision and the number of slots the whole
-        signalling round-trip took.  If the requesting node *is* the
-        admission node, the test is local and costs nothing.
+        Runs the full request/reply dialogue (2 best-effort messages)
+        unless the requesting node *is* the admission node, where the
+        test is local and costs nothing.
         """
         used = 0
+        round_trips = 0
         src = connection.source
         if src != self.admission_node:
-            req = self.injectors[src].submit(
-                destinations=[self.admission_node],
-                traffic_class=TrafficClass.BEST_EFFORT,
-                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
-            )
-            used += self._await_delivery(req, max_wait_slots)
+            used += self._signal(src, self.admission_node, max_wait_slots)
 
         decision = self.controller.request(connection)
 
         if src != self.admission_node:
-            reply = self.injectors[self.admission_node].submit(
-                destinations=[src],
-                traffic_class=TrafficClass.BEST_EFFORT,
-                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
-            )
-            used += self._await_delivery(reply, max_wait_slots)
+            used += self._signal(self.admission_node, src, max_wait_slots)
+            round_trips = 1
 
         if decision.accepted:
             # Activate the periodic source from the next slot on.
             self.sim.sources = self.sim.sources + (
                 ConnectionSource(connection, active_from=self.sim.current_slot),
             )
-        return decision, used
+        return SignallingResult(
+            decision=decision, slots_used=used, round_trips=round_trips
+        )
 
-    def close(self, connection_id: int, max_wait_slots: int = 10_000) -> int:
-        """Tear a connection down; returns the signalling cost in slots.
+    def close_connection(
+        self, connection_id: int, max_wait_slots: int = 10_000
+    ) -> SignallingResult:
+        """Tear a connection down; the symmetric 2-message dialogue.
 
-        The connection's source stops releasing from the current slot on
-        (its :class:`ConnectionSource` is deactivated) and the admission
-        set is updated.
+        The tear-down request travels to the admission node as a
+        best-effort message, the admission set is updated there, the
+        connection's periodic source is deactivated, and the
+        acknowledgement travels back -- the same round-trip shape as
+        :meth:`open_connection`, so open and close signalling costs are
+        directly comparable.
         """
         connection = self.controller.remove(connection_id)
         used = 0
-        if connection.source != self.admission_node:
-            req = self.injectors[connection.source].submit(
-                destinations=[self.admission_node],
-                traffic_class=TrafficClass.BEST_EFFORT,
-                relative_deadline_slots=self.SIGNALLING_DEADLINE_SLOTS,
+        round_trips = 0
+        src = connection.source
+        if src != self.admission_node:
+            used += self._signal(src, self.admission_node, max_wait_slots)
+        # Deactivate the periodic source before awaiting the reply, so
+        # no guaranteed traffic is released after the request arrived.
+        self.sim.sources = tuple(
+            s
+            for s in self.sim.sources
+            if not (
+                isinstance(s, ConnectionSource)
+                and s.connection.connection_id == connection_id
             )
-            used = self._await_delivery(req, max_wait_slots)
-        # Deactivate the periodic source.
-        new_sources = []
-        for src in self.sim.sources:
-            if (
-                isinstance(src, ConnectionSource)
-                and src.connection.connection_id == connection_id
-            ):
-                continue
-            new_sources.append(src)
-        self.sim.sources = tuple(new_sources)
-        return used
+        )
+        if src != self.admission_node:
+            used += self._signal(self.admission_node, src, max_wait_slots)
+            round_trips = 1
+        return SignallingResult(
+            decision=None, slots_used=used, round_trips=round_trips
+        )
+
+    # -- deprecated pre-1.1 API ----------------------------------------
+
+    def open(
+        self,
+        connection: LogicalRealTimeConnection,
+        max_wait_slots: int = 10_000,
+    ) -> tuple[AdmissionDecision, int]:
+        """Deprecated: use :meth:`open_connection`.
+
+        Returns the historic ``(decision, slots_used)`` tuple.
+        """
+        warnings.warn(
+            "ConnectionClient.open() is deprecated; use open_connection(), "
+            "which returns a SignallingResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.open_connection(connection, max_wait_slots)
+        return result.decision, result.slots_used
+
+    def close(self, connection_id: int, max_wait_slots: int = 10_000) -> int:
+        """Deprecated: use :meth:`close_connection`.
+
+        Returns the historic bare slot count.  Note the modelled
+        dialogue now includes the acknowledgement leg the docstring
+        always promised, so the count covers the full round-trip.
+        """
+        warnings.warn(
+            "ConnectionClient.close() is deprecated; use close_connection(), "
+            "which returns a SignallingResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.close_connection(connection_id, max_wait_slots).slots_used

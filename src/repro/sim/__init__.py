@@ -47,7 +47,7 @@ from repro.sim.batch import AVAILABILITY_METRICS, BatchResult, MetricSummary, re
 from repro.sim.control_channel import ControlChannelTimeline, compute_timeline, verify_all_masters
 from repro.sim.parallel import replicate_parallel, resolve_jobs
 from repro.sim.profiling import PhaseProfiler
-from repro.sim.runner import ScenarioConfig, run_scenario
+from repro.sim.runner import RunOptions, ScenarioConfig, run_scenario
 
 __all__ = [
     "Simulation",
@@ -80,6 +80,7 @@ __all__ = [
     "ControlChannelTimeline",
     "compute_timeline",
     "verify_all_masters",
+    "RunOptions",
     "ScenarioConfig",
     "run_scenario",
 ]

@@ -241,6 +241,23 @@ class Simulation:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_scenario(
+        cls, config, options=None
+    ) -> "Simulation":
+        """Build a simulation from a :class:`~repro.sim.runner.ScenarioConfig`.
+
+        ``options`` is a :class:`~repro.sim.runner.RunOptions` bundling
+        the run-time attachments (traces, faults, profilers, ...); the
+        default instruments nothing.  Equivalent to
+        :func:`repro.sim.runner.build_simulation`, exposed here so the
+        constructor lives next to the class it constructs.
+        """
+        # Imported lazily: runner imports this module for Simulation.
+        from repro.sim.runner import build_simulation
+
+        return build_simulation(config, options)
+
     @property
     def report(self) -> SimulationReport:
         """The accumulated measurement report."""

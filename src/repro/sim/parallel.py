@@ -59,15 +59,22 @@ def resolve_jobs(n_jobs: int) -> int:
     return available_cpus()
 
 
-def _run_replication(
+def run_one(
     build: Callable[[np.random.Generator], Simulation],
-    child: np.random.SeedSequence,
+    seed: np.random.SeedSequence,
     n_slots: int,
     collect_registry: bool = False,
 ) -> tuple[SimulationReport, MetricRegistry | None]:
-    """Worker body: one replication, returning its report (and, when
-    requested, the observability registry its collector mirrored into)."""
-    rng = np.random.default_rng(child)
+    """Worker body: one seeded run, returning its report (and, when
+    requested, the observability registry its collector mirrored into).
+
+    This is the bit-identical unit both shard-parallel paths share: the
+    replication fan-out below and the campaign executor
+    (:mod:`repro.campaign.executor`) call exactly this function, so a
+    run's result is a pure function of ``(build, seed, n_slots)`` no
+    matter which machinery scheduled it.
+    """
+    rng = np.random.default_rng(seed)
     sim = build(rng)
     registry = None
     if collect_registry:
@@ -77,6 +84,10 @@ def _run_replication(
     if registry is not None and sim.profiler is not None:
         registry.merge(sim.profiler.registry)
     return report, registry
+
+
+#: Backwards-compatible alias for the pre-campaign worker name.
+_run_replication = run_one
 
 
 def replicate_parallel(

@@ -5,10 +5,22 @@ a workload; :func:`run_scenario` builds the whole stack (topology, timing
 model, protocol, sources, simulation) and runs it.  Keeping this in one
 place guarantees every experiment compares protocols on byte-identical
 networks and workloads.
+
+Run-time attachments (traces, fault models, profilers, observers, ...)
+are bundled in a frozen :class:`RunOptions` value instead of a growing
+pile of keyword arguments::
+
+    options = RunOptions(with_admission=True, profiler=PhaseProfiler())
+    report = run_scenario(config, n_slots=10_000, options=options)
+
+The pre-1.1 keyword form (``run_scenario(config, n, profiler=...)``)
+still works through a shim that emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -102,45 +114,138 @@ def make_protocol(
     raise ValueError(f"unknown protocol {config.protocol!r}")
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Run-time attachments for building a :class:`Simulation`.
+
+    A :class:`ScenarioConfig` describes *what* is simulated (network,
+    protocol, workload); ``RunOptions`` describes *how* one particular
+    run is instrumented and driven.  The split keeps the scenario
+    hashable/serialisable for provenance while instruments (profilers,
+    observers, traces) stay live objects.
+    """
+
+    #: Additional traffic sources beyond the scenario's connections.
+    extra_sources: tuple[TrafficSource, ...] = ()
+    #: Non-default laxity-to-priority mapping (mapping-ablation studies).
+    mapping: LaxityMapping | None = None
+    #: In-memory per-slot trace (disables the idle fast-forward).
+    trace: SlotTrace | None = None
+    #: Fault source overriding :attr:`ScenarioConfig.fault_config`.
+    faults: "FaultModel | FaultInjector | None" = None
+    #: Per-packet loss model (reliable-transmission service).
+    loss_model: object | None = None
+    #: Create an admission controller and admission-test the scenario's
+    #: connections into it before the run.
+    with_admission: bool = False
+    #: Skip exactly-repeating idle slots (bit-identical results).
+    fast_forward: bool = True
+    #: Slot-loop phase profiler.
+    profiler: "PhaseProfiler | None" = None
+    #: Event dispatcher attached to the whole stack.
+    observer: EventDispatcher | None = None
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of sources; store a tuple so the options
+        # value is immutable and safely shareable across runs.
+        object.__setattr__(
+            self, "extra_sources", tuple(self.extra_sources)
+        )
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Legacy keyword arguments of the pre-1.1 ``build_simulation`` /
+#: ``run_scenario`` signatures, in their historic order.
+_LEGACY_OPTION_KWARGS = tuple(
+    f.name for f in dataclasses.fields(RunOptions)
+)
+
+
+def _coerce_options(
+    options: "RunOptions | Sequence[TrafficSource] | None",
+    legacy: dict,
+    caller: str,
+) -> RunOptions:
+    """Resolve the ``options``/legacy-kwargs split into one RunOptions.
+
+    Accepts the deprecated call forms -- keyword arguments
+    (``run_scenario(config, n, profiler=...)``) and a bare source
+    sequence in the old ``extra_sources`` positional slot -- with a
+    :class:`DeprecationWarning`, so pre-1.1 call sites keep working.
+    """
+    if options is not None and not isinstance(options, RunOptions):
+        # Old positional extra_sources: run_scenario(config, n, [src]).
+        warnings.warn(
+            f"passing extra_sources positionally to {caller}() is "
+            f"deprecated; pass options=RunOptions(extra_sources=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = RunOptions(extra_sources=tuple(options))
+    if not legacy:
+        return options if options is not None else RunOptions()
+    unknown = set(legacy) - set(_LEGACY_OPTION_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if options is not None:
+        raise TypeError(
+            f"{caller}() takes either options=RunOptions(...) or the "
+            "deprecated keyword arguments, not both"
+        )
+    warnings.warn(
+        f"{caller}({', '.join(sorted(legacy))}=...) keyword arguments are "
+        f"deprecated; pass options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunOptions(**legacy)
+
+
 def build_simulation(
     config: ScenarioConfig,
-    extra_sources: Sequence[TrafficSource] = (),
-    mapping: LaxityMapping | None = None,
-    trace: SlotTrace | None = None,
-    faults: "FaultModel | FaultInjector | None" = None,
-    loss_model=None,
-    with_admission: bool = False,
-    fast_forward: bool = True,
-    profiler: "PhaseProfiler | None" = None,
-    observer: EventDispatcher | None = None,
+    options: RunOptions | None = None,
+    **legacy,
 ) -> Simulation:
     """Assemble a ready-to-run simulation for a scenario.
 
-    ``faults`` accepts a scripted :class:`FaultInjector` or any
+    ``options`` bundles every run-time attachment (see
+    :class:`RunOptions`).  :attr:`RunOptions.faults` accepts a scripted
+    :class:`FaultInjector` or any
     :class:`~repro.sim.fault_models.FaultModel`; when omitted and the
     scenario carries a :attr:`ScenarioConfig.fault_config`, that
     configuration is built (seeded from its own fault seed).  With
-    ``with_admission=True`` an :class:`AdmissionController` is created,
-    the scenario's connections are admission-tested into it, and the
-    engine suspends/re-admits them across node failures and rejoins.
-    ``observer`` attaches an :class:`~repro.obs.events.EventDispatcher`
-    (e.g. carrying a JSONL event-log sink) to the whole stack.
+    :attr:`RunOptions.with_admission` an :class:`AdmissionController` is
+    created, the scenario's connections are admission-tested into it,
+    and the engine suspends/re-admits them across node failures and
+    rejoins.  :attr:`RunOptions.observer` attaches an
+    :class:`~repro.obs.events.EventDispatcher` (e.g. carrying a JSONL
+    event-log sink) to the whole stack.
+
+    The pre-1.1 keyword form (``build_simulation(config, trace=...)``)
+    is still accepted but emits a :class:`DeprecationWarning`.
     """
+    opts = _coerce_options(options, legacy, "build_simulation")
     timing = make_timing(config)
-    protocol = make_protocol(config, timing.topology, mapping)
+    protocol = make_protocol(config, timing.topology, opts.mapping)
     sources: list[TrafficSource] = [
         ConnectionSource(c) for c in config.connections
     ]
-    sources.extend(extra_sources)
+    sources.extend(opts.extra_sources)
+    faults = opts.faults
     if faults is None and config.fault_config is not None:
         faults = config.fault_config.build(config.n_nodes)
     admission = None
-    if with_admission:
+    if opts.with_admission:
         admission = AdmissionController(timing)
         # Attach the observer before the initial admission pass so the
         # pre-run decisions (slot=None) land in the event log too.
-        if observer is not None:
-            admission.observer = observer
+        if opts.observer is not None:
+            admission.observer = opts.observer
         for conn in config.connections:
             admission.request(conn)
     return Simulation(
@@ -149,40 +254,27 @@ def build_simulation(
         sources=sources,
         initial_master=config.initial_master,
         drop_late=config.drop_late,
-        trace=trace,
+        trace=opts.trace,
         faults=faults,
-        loss_model=loss_model,
+        loss_model=opts.loss_model,
         admission=admission,
-        fast_forward=fast_forward,
-        profiler=profiler,
-        observer=observer,
+        fast_forward=opts.fast_forward,
+        profiler=opts.profiler,
+        observer=opts.observer,
     )
 
 
 def run_scenario(
     config: ScenarioConfig,
     n_slots: int,
-    extra_sources: Sequence[TrafficSource] = (),
-    mapping: LaxityMapping | None = None,
-    trace: SlotTrace | None = None,
-    faults: "FaultModel | FaultInjector | None" = None,
-    loss_model=None,
-    with_admission: bool = False,
-    fast_forward: bool = True,
-    profiler: "PhaseProfiler | None" = None,
-    observer: EventDispatcher | None = None,
+    options: RunOptions | None = None,
+    **legacy,
 ) -> SimulationReport:
-    """Build and run a scenario for ``n_slots`` slots."""
-    sim = build_simulation(
-        config,
-        extra_sources=extra_sources,
-        mapping=mapping,
-        trace=trace,
-        faults=faults,
-        loss_model=loss_model,
-        with_admission=with_admission,
-        fast_forward=fast_forward,
-        profiler=profiler,
-        observer=observer,
-    )
+    """Build and run a scenario for ``n_slots`` slots.
+
+    Accepts the same ``options`` / deprecated-keyword forms as
+    :func:`build_simulation`.
+    """
+    opts = _coerce_options(options, legacy, "run_scenario")
+    sim = build_simulation(config, opts)
     return sim.run(n_slots)

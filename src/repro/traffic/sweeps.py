@@ -5,12 +5,15 @@ connection-set generators only hit a target utilisation approximately
 (message sizes are integral).  :func:`scale_connections_to_utilisation`
 rescales an existing set to a new total utilisation by stretching or
 shrinking periods, preserving the set's structure (sources, destinations,
-relative weights).
+relative weights).  :func:`random_workload` is the one-call combination
+sweep engines use: draw a random set, then pin its total utilisation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.core.connection import LogicalRealTimeConnection
 
@@ -60,3 +63,32 @@ def scale_connections_to_utilisation(
             )
         )
     return out
+
+
+def random_workload(
+    rng: np.random.Generator,
+    n_nodes: int,
+    n_connections: int,
+    utilisation: float,
+    period_range: tuple[int, int] = (10, 200),
+) -> list[LogicalRealTimeConnection]:
+    """Draw a random connection set pinned to a target utilisation.
+
+    The standard workload of the sweep experiments: a UUniFast random
+    set (see :func:`repro.traffic.periodic.random_connection_set`)
+    rescaled so the achieved total utilisation lands on the target as
+    closely as integral message sizes allow.  Deterministic in ``rng``:
+    the campaign executor derives one generator per (grid point,
+    replication) seed, making every run's workload reproducible from
+    the campaign's master seed alone.
+    """
+    from repro.traffic.periodic import random_connection_set
+
+    base = random_connection_set(
+        rng,
+        n_nodes=n_nodes,
+        n_connections=n_connections,
+        total_utilisation=utilisation,
+        period_range=period_range,
+    )
+    return scale_connections_to_utilisation(base, utilisation)

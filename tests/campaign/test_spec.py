@@ -1,0 +1,134 @@
+"""Campaign spec validation, serialisation, and grid expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    WorkloadSpec,
+    expand_grid,
+    expand_runs,
+)
+from repro.sim.fault_models import FaultConfig
+from repro.sim.runner import PROTOCOLS, ScenarioConfig
+
+
+def small_campaign(**overrides):
+    kwargs = dict(
+        name="t",
+        base=ScenarioConfig(n_nodes=6),
+        n_slots=1000,
+        axes={"protocol": ("ccr-edf", "tdma"), "utilisation": (0.4, 0.8)},
+        workload=WorkloadSpec(n_connections=4),
+        n_replications=2,
+        master_seed=5,
+    )
+    kwargs.update(overrides)
+    return Campaign(**kwargs)
+
+
+class TestCampaignValidation:
+    def test_counts(self):
+        c = small_campaign()
+        assert c.grid_size == 4
+        assert c.total_runs == 8
+        assert c.axis_names == ("protocol", "utilisation")
+
+    def test_axes_mapping_normalised_to_ordered_pairs(self):
+        c = small_campaign()
+        assert c.axes == (
+            ("protocol", ("ccr-edf", "tdma")),
+            ("utilisation", (0.4, 0.8)),
+        )
+
+    def test_axisless_campaign_is_a_single_point(self):
+        c = small_campaign(axes={}, workload=None)
+        assert c.grid_size == 1
+        assert c.total_runs == 2
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            small_campaign(axes={"bogus": (1, 2)})
+
+    def test_workload_axis_requires_workload(self):
+        with pytest.raises(ValueError, match="declares no WorkloadSpec"):
+            small_campaign(axes={"n_connections": (4, 8)}, workload=None)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            small_campaign(axes={"protocol": ()})
+
+    def test_bad_protocol_value_rejected(self):
+        with pytest.raises(ValueError, match="not in"):
+            small_campaign(axes={"protocol": ("token-ring",)})
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            small_campaign(n_replications=0)
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(ValueError, match="utilisation"):
+            WorkloadSpec(utilisation=-0.5)
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        c = small_campaign(
+            base=ScenarioConfig(
+                n_nodes=6,
+                drop_late=True,
+                fault_config=FaultConfig(p_distribution_loss=0.01),
+            )
+        )
+        assert Campaign.from_dict(json.loads(json.dumps(c.to_dict()))) == c
+
+    def test_json_file_round_trip(self, tmp_path):
+        c = small_campaign()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(c.to_dict()))
+        assert Campaign.from_json_file(path) == c
+
+    def test_mapping_axes_accepted_in_spec_files(self):
+        raw = small_campaign().to_dict()
+        raw["axes"] = {"protocol": list(PROTOCOLS)}
+        c = Campaign.from_dict(raw)
+        assert c.axes == (("protocol", tuple(PROTOCOLS)),)
+
+    def test_unknown_key_rejected(self):
+        raw = small_campaign().to_dict()
+        raw["replicas"] = 3
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            Campaign.from_dict(raw)
+
+
+class TestGridExpansion:
+    def test_row_major_order_last_axis_fastest(self):
+        points = expand_grid(small_campaign())
+        assert [p.overrides for p in points] == [
+            (("protocol", "ccr-edf"), ("utilisation", 0.4)),
+            (("protocol", "ccr-edf"), ("utilisation", 0.8)),
+            (("protocol", "tdma"), ("utilisation", 0.4)),
+            (("protocol", "tdma"), ("utilisation", 0.8)),
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+
+    def test_scenario_and_workload_overrides_applied(self):
+        points = expand_grid(small_campaign())
+        assert points[3].config.protocol == "tdma"
+        assert points[3].workload.utilisation == 0.8
+        # The base scenario itself is untouched.
+        assert points[3].config.connections == ()
+
+    def test_n_slots_axis(self):
+        c = small_campaign(axes={"n_slots": (100, 200)})
+        points = expand_grid(c)
+        assert [p.n_slots for p in points] == [100, 200]
+
+    def test_run_seeds_distinct_and_deterministic(self):
+        runs = list(expand_runs(small_campaign()))
+        entropies = [r.seed_entropy for r in runs]
+        assert len(set(entropies)) == len(runs)
+        assert entropies[0] == (5, 0, 0)
+        assert entropies[1] == (5, 0, 1)
+        assert entropies[-1] == (5, 3, 1)

@@ -1,0 +1,87 @@
+"""Content-addressed run keys and the on-disk result store."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    ResultStore,
+    WorkloadSpec,
+    expand_runs,
+    run_key,
+)
+from repro.sim.runner import ScenarioConfig
+
+
+def _campaign(**overrides):
+    kwargs = dict(
+        name="t",
+        base=ScenarioConfig(n_nodes=6),
+        n_slots=500,
+        axes={"utilisation": (0.4, 0.8)},
+        workload=WorkloadSpec(n_connections=4),
+        n_replications=2,
+        master_seed=5,
+    )
+    kwargs.update(overrides)
+    return Campaign(**kwargs)
+
+
+class TestRunKey:
+    def test_stable_across_expansions(self):
+        a = list(expand_runs(_campaign()))
+        b = list(expand_runs(_campaign()))
+        assert [run_key(s) for s in a] == [run_key(s) for s in b]
+
+    def test_distinct_per_run(self):
+        keys = [run_key(s) for s in expand_runs(_campaign())]
+        assert len(set(keys)) == len(keys)
+
+    def test_config_change_changes_key(self):
+        base = next(iter(expand_runs(_campaign())))
+        other = next(iter(expand_runs(_campaign(n_slots=600))))
+        assert run_key(base) != run_key(other)
+
+    def test_seed_change_changes_key(self):
+        base = next(iter(expand_runs(_campaign())))
+        other = next(iter(expand_runs(_campaign(master_seed=6))))
+        assert run_key(base) != run_key(other)
+
+    def test_campaign_name_does_not_change_key(self):
+        # Two campaigns describing the same runs share cached results.
+        base = next(iter(expand_runs(_campaign(name="a"))))
+        other = next(iter(expand_runs(_campaign(name="b"))))
+        assert run_key(base) == run_key(other)
+
+    def test_replication_in_key(self):
+        runs = list(expand_runs(_campaign()))
+        spec0 = runs[0]
+        spec1 = dataclasses.replace(spec0, replication=1)
+        assert run_key(spec0) != run_key(spec1)
+
+
+class TestResultStore:
+    def test_save_load_contains(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert "abc" not in store
+        store.save("abc", {"row": {"x": 1}})
+        assert "abc" in store
+        assert store.load("abc") == {"row": {"x": 1}}
+        assert store.keys() == ["abc"]
+        assert len(store) == 1
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("abc", {"row": {}})
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_campaign_snapshot_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        c = _campaign()
+        store.save_campaign(c)
+        assert store.load_campaign() == c
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no campaign snapshot"):
+            ResultStore(tmp_path).load_campaign()

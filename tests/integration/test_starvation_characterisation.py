@@ -18,7 +18,7 @@ import pytest
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 from repro.services.api import MessageInjector
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 
 def saturating_rt(n):
@@ -41,7 +41,7 @@ def saturated_sim():
     n = 8
     injectors = {i: MessageInjector(i) for i in range(n)}
     config = ScenarioConfig(n_nodes=n, connections=saturating_rt(n))
-    sim = build_simulation(config, extra_sources=list(injectors.values()))
+    sim = build_simulation(config, RunOptions(extra_sources=tuple(injectors.values())))
     return sim, injectors
 
 
@@ -84,7 +84,7 @@ class TestStarvation:
             for i in range(n // 2)
         )
         config = ScenarioConfig(n_nodes=n, connections=conns)
-        sim = build_simulation(config, extra_sources=list(injectors.values()))
+        sim = build_simulation(config, RunOptions(extra_sources=tuple(injectors.values())))
         sub = injectors[1].submit([0], relative_deadline_slots=200)
         sim.run(2000)
         assert sub.delivered

@@ -11,7 +11,7 @@ from the trace matches the report to float precision.
 import numpy as np
 import pytest
 
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.sim.trace import SlotTrace
 from repro.traffic.periodic import random_connection_set
 from repro.traffic.sweeps import scale_connections_to_utilisation
@@ -24,7 +24,7 @@ def traced_run():
     conns = scale_connections_to_utilisation(conns, 0.85)
     config = ScenarioConfig(n_nodes=8, connections=tuple(conns))
     trace = SlotTrace(max_records=5000)
-    sim = build_simulation(config, trace=trace)
+    sim = build_simulation(config, RunOptions(trace=trace))
     sim.run(5000)
     return sim, trace
 

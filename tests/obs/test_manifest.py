@@ -14,7 +14,7 @@ from repro.obs.manifest import (
 )
 from repro.obs.registry import MetricRegistry
 from repro.sim.profiling import PhaseProfiler
-from repro.sim.runner import ScenarioConfig, run_scenario
+from repro.sim.runner import RunOptions, ScenarioConfig, run_scenario
 
 
 def small_scenario():
@@ -61,7 +61,7 @@ class TestRunManifest:
     def test_collect_embeds_report_and_profile(self):
         config = small_scenario()
         profiler = PhaseProfiler()
-        report = run_scenario(config, n_slots=500, profiler=profiler)
+        report = run_scenario(config, n_slots=500, options=RunOptions(profiler=profiler))
         registry = MetricRegistry()
         registry.inc("sim:released", report.total_released)
         manifest = RunManifest.collect(

@@ -19,7 +19,7 @@ from repro.obs.replay import (
 )
 from repro.sim.fault_models import FaultConfig
 from repro.sim.faults import FaultInjector
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.sim.trace import SlotTrace
 
 
@@ -51,10 +51,12 @@ def faulty_scenario():
     )
 
 
-def run_with_log(config, n_slots, path, **build_kwargs):
+def run_with_log(config, n_slots, path, **option_kwargs):
     observer = EventDispatcher()
     observer.add_sink(JsonlEventLog(path))
-    sim = build_simulation(config, observer=observer, **build_kwargs)
+    sim = build_simulation(
+        config, RunOptions(observer=observer, **option_kwargs)
+    )
     report = sim.run(n_slots)
     observer.close()
     return sim, report
@@ -260,7 +262,7 @@ class TestTraceUnderFaults:
         path = tmp_path / "both.jsonl"
         observer = EventDispatcher()
         observer.add_sink(JsonlEventLog(path))
-        sim = build_simulation(config, trace=trace, observer=observer)
+        sim = build_simulation(config, RunOptions(trace=trace, observer=observer))
         report = sim.run(3000)
         observer.close()
         assert not sim.fast_forward  # traces force slot-by-slot stepping
@@ -284,7 +286,7 @@ class TestTraceUnderFaults:
         config = faulty_scenario()
         observer = EventDispatcher()
         ring = observer.add_sink(BoundedEventRing(max_events=50))
-        sim = build_simulation(config, observer=observer)
+        sim = build_simulation(config, RunOptions(observer=observer))
         sim.run(2000)
         assert len(ring) == 50
         assert ring.dropped > 0

@@ -94,7 +94,8 @@ class TestConnectionClient:
 
     def test_open_accepted_connection_starts_traffic(self):
         sim, client, controller = self.make_client()
-        decision, cost = client.open(self.conn())
+        result = client.open_connection(self.conn())
+        decision, cost = result.decision, result.slots_used
         assert decision.accepted
         assert cost > 0  # signalling consumed real slots
         start = sim.report.class_stats(TrafficClass.RT_CONNECTION).released
@@ -105,24 +106,25 @@ class TestConnectionClient:
     def test_rejected_connection_never_activates(self):
         sim, client, controller = self.make_client()
         big = self.conn(period=10, size=10)  # U = 1.0 > U_max
-        decision, _ = client.open(big)
+        decision = client.open_connection(big).decision
         assert not decision.accepted
         sim.run(100)
         assert sim.report.class_stats(TrafficClass.RT_CONNECTION).released == 0
 
     def test_open_from_admission_node_is_free(self):
         sim, client, _ = self.make_client(admission_node=1)
-        decision, cost = client.open(self.conn(source=1))
+        result = client.open_connection(self.conn(source=1))
+        decision, cost = result.decision, result.slots_used
         assert decision.accepted
         assert cost == 0
 
     def test_close_stops_traffic_and_frees_capacity(self):
         sim, client, controller = self.make_client()
         c = self.conn()
-        client.open(c)
+        client.open_connection(c)
         sim.run(50)
         before = sim.report.class_stats(TrafficClass.RT_CONNECTION).released
-        client.close(c.connection_id)
+        client.close_connection(c.connection_id)
         sim.run(100)
         after = sim.report.class_stats(TrafficClass.RT_CONNECTION).released
         assert after == before  # nothing released after tear-down
@@ -130,7 +132,7 @@ class TestConnectionClient:
 
     def test_signalling_uses_best_effort(self):
         sim, client, _ = self.make_client()
-        client.open(self.conn())
+        client.open_connection(self.conn())
         be = sim.report.class_stats(TrafficClass.BEST_EFFORT)
         assert be.delivered >= 2  # request + reply
 
@@ -145,8 +147,97 @@ class TestConnectionClient:
         decisions = []
         for i in range(6):
             c = self.conn(source=1, dst=3, period=10, size=2)  # U = 0.2 each
-            decisions.append(client.open(c)[0])
+            decisions.append(client.open_connection(c).decision)
         accepted = sum(1 for d in decisions if d.accepted)
         # U_max ~0.88 admits 4 connections of 0.2.
         assert accepted == 4
         assert controller.utilisation <= controller.u_max
+
+
+class TestSignallingSymmetry:
+    """Open and close run the same 2-message round-trip (Section 6)."""
+
+    def make_client(self, admission_node=0):
+        sim, injectors, timing = build()
+        controller = AdmissionController(timing)
+        client = ConnectionClient(sim, controller, admission_node, injectors)
+        return sim, client, controller
+
+    def conn(self, source=1, dst=3, period=10, size=1):
+        return LogicalRealTimeConnection(
+            source=source,
+            destinations=frozenset([dst]),
+            period_slots=period,
+            size_slots=size,
+        )
+
+    def test_close_accounts_reply_leg(self):
+        """Regression: close once counted only the request leg, despite
+        the documented 2-best-effort-message dialogue."""
+        sim, client, _ = self.make_client()
+        c = self.conn()
+        opened = client.open_connection(c)
+        be_after_open = sim.report.class_stats(
+            TrafficClass.BEST_EFFORT
+        ).delivered
+        closed = client.close_connection(c.connection_id)
+        be_after_close = sim.report.class_stats(
+            TrafficClass.BEST_EFFORT
+        ).delivered
+        # Same dialogue shape on both sides: one round-trip each, and
+        # exactly two best-effort deliveries per dialogue.
+        assert opened.round_trips == closed.round_trips == 1
+        assert opened.messages_sent == closed.messages_sent == 2
+        assert be_after_open == 2
+        assert be_after_close == 4
+        # The reply leg costs real slots, so close cannot be cheaper
+        # than a single leg; both directions traverse the same ring.
+        assert closed.slots_used > 0
+        assert closed.decision is None and closed.accepted
+
+    def test_open_close_cost_parity(self):
+        """With an otherwise idle ring the two dialogues cost within a
+        couple of slots of each other (phases differ slightly)."""
+        sim, client, _ = self.make_client()
+        c = self.conn()
+        opened = client.open_connection(c)
+        closed = client.close_connection(c.connection_id)
+        assert abs(opened.slots_used - closed.slots_used) <= 4
+
+    def test_local_dialogues_are_free_both_ways(self):
+        sim, client, _ = self.make_client(admission_node=1)
+        c = self.conn(source=1)
+        opened = client.open_connection(c)
+        closed = client.close_connection(c.connection_id)
+        assert opened.slots_used == closed.slots_used == 0
+        assert opened.round_trips == closed.round_trips == 0
+
+
+class TestDeprecatedClientShims:
+    def make_client(self):
+        sim, injectors, timing = build()
+        controller = AdmissionController(timing)
+        return sim, ConnectionClient(sim, controller, 0, injectors)
+
+    def conn(self):
+        return LogicalRealTimeConnection(
+            source=1,
+            destinations=frozenset([3]),
+            period_slots=10,
+            size_slots=1,
+        )
+
+    def test_open_warns_and_returns_tuple(self):
+        _, client = self.make_client()
+        with pytest.deprecated_call():
+            decision, cost = client.open(self.conn())
+        assert decision.accepted
+        assert isinstance(cost, int) and cost > 0
+
+    def test_close_warns_and_returns_int(self):
+        _, client = self.make_client()
+        c = self.conn()
+        client.open_connection(c)
+        with pytest.deprecated_call():
+            cost = client.close(c.connection_id)
+        assert isinstance(cost, int) and cost > 0

@@ -6,13 +6,13 @@ from hypothesis import given, settings, strategies as st
 from repro.core.priorities import TrafficClass
 from repro.services.api import MessageInjector
 from repro.services.flowcontrol import ReceiverBuffer, WindowedSender
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 
 def build(n=4):
     injectors = {i: MessageInjector(i) for i in range(n)}
     config = ScenarioConfig(n_nodes=n)
-    sim = build_simulation(config, extra_sources=list(injectors.values()))
+    sim = build_simulation(config, RunOptions(extra_sources=tuple(injectors.values())))
     return sim, injectors
 
 

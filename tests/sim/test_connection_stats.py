@@ -7,7 +7,7 @@ import pytest
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 from repro.sim.metrics import ConnectionStats
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 
 
 def conns():
@@ -100,7 +100,7 @@ class TestPerConnectionAccounting:
 
         injector = MessageInjector(1)
         config = ScenarioConfig(n_nodes=8)
-        sim = build_simulation(config, extra_sources=[injector])
+        sim = build_simulation(config, RunOptions(extra_sources=(injector,)))
         injector.submit([3], relative_deadline_slots=50)
         sim.run(50)
         assert sim.report.per_connection == {}

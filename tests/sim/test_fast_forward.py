@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.traffic.poisson import PoissonSource
 
 N_SLOTS = 300
@@ -74,7 +74,7 @@ def _build(workload, fast_forward: bool):
             )
         )
     return build_simulation(
-        config, extra_sources=extra, fast_forward=fast_forward
+        config, RunOptions(extra_sources=extra, fast_forward=fast_forward)
     )
 
 
@@ -92,7 +92,7 @@ class TestFastForwardEquivalence:
 
     def test_fast_forward_disabled_for_rotating_masters(self):
         config = ScenarioConfig(n_nodes=4, protocol="tdma")
-        sim = build_simulation(config, fast_forward=True)
+        sim = build_simulation(config, RunOptions(fast_forward=True))
         assert not sim.fast_forward
 
     def test_idle_ring_skips_to_end(self):

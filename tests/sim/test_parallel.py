@@ -17,7 +17,7 @@ from repro.core.priorities import TrafficClass
 from repro.sim.batch import AVAILABILITY_METRICS, replicate
 from repro.sim.fault_models import FaultConfig
 from repro.sim.parallel import replicate_parallel, resolve_jobs
-from repro.sim.runner import ScenarioConfig, build_simulation
+from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.traffic.periodic import random_connection_set
 from repro.traffic.poisson import PoissonSource
 from repro.traffic.sweeps import scale_connections_to_utilisation
@@ -58,7 +58,7 @@ def _build_faulty_scenario(rng: np.random.Generator):
             rng=rng,
         )
     ]
-    return build_simulation(config, extra_sources=extra)
+    return build_simulation(config, RunOptions(extra_sources=extra))
 
 
 METRICS = dict(AVAILABILITY_METRICS)

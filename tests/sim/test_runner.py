@@ -1,5 +1,7 @@
 """Tests for the scenario runner."""
 
+import dataclasses
+
 import pytest
 
 from repro.baselines.ccfpr import CcFprProtocol
@@ -8,8 +10,10 @@ from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 from repro.core.protocol import CcrEdfProtocol
 from repro.core.clocking import RoundRobinHandover, EdfHandover
+from repro.sim.engine import Simulation
 from repro.sim.runner import (
     PROTOCOLS,
+    RunOptions,
     ScenarioConfig,
     build_simulation,
     make_protocol,
@@ -97,3 +101,80 @@ class TestRunScenario:
             )
             report = run_scenario(config, n_slots=200)
             assert report.slots_simulated == 200
+
+
+class TestRunOptions:
+    def test_frozen_and_tupled_sources(self):
+        from repro.services.api import MessageInjector
+
+        opts = RunOptions(extra_sources=[MessageInjector(0)])
+        assert isinstance(opts.extra_sources, tuple)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.fast_forward = False
+
+    def test_replace_returns_modified_copy(self):
+        opts = RunOptions()
+        off = opts.replace(fast_forward=False)
+        assert off.fast_forward is False
+        assert opts.fast_forward is True
+
+    def test_options_equal_legacy_kwargs(self):
+        """The new API and the deprecated shim build identical runs."""
+        config = ScenarioConfig(n_nodes=8, connections=(conn(),))
+        new = run_scenario(
+            config, n_slots=400, options=RunOptions(fast_forward=False)
+        )
+        with pytest.deprecated_call():
+            old = run_scenario(config, n_slots=400, fast_forward=False)
+        assert new == old
+
+    def test_from_scenario_constructor(self):
+        config = ScenarioConfig(n_nodes=4, connections=(conn(dst=1),))
+        sim = Simulation.from_scenario(config)
+        sim.run(100)
+        assert sim.report.slots_simulated == 100
+
+    def test_from_scenario_applies_options(self):
+        config = ScenarioConfig(n_nodes=4)
+        sim = Simulation.from_scenario(
+            config, RunOptions(fast_forward=False)
+        )
+        assert sim.fast_forward is False
+
+    def test_with_admission_option(self):
+        config = ScenarioConfig(n_nodes=8, connections=(conn(),))
+        sim = build_simulation(config, RunOptions(with_admission=True))
+        assert sim.admission is not None
+        assert sim.admission.utilisation > 0
+
+
+class TestDeprecatedShim:
+    def test_build_simulation_kwargs_warn(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.deprecated_call():
+            sim = build_simulation(config, fast_forward=False)
+        assert sim.fast_forward is False
+
+    def test_run_scenario_kwargs_warn(self):
+        config = ScenarioConfig(n_nodes=4, connections=(conn(dst=1),))
+        with pytest.deprecated_call():
+            report = run_scenario(config, n_slots=100, with_admission=True)
+        assert report.slots_simulated == 100
+
+    def test_positional_extra_sources_warn(self):
+        from repro.services.api import MessageInjector
+
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.deprecated_call():
+            sim = build_simulation(config, [MessageInjector(0)])
+        assert len(sim.sources) == 1
+
+    def test_unknown_kwarg_rejected(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            build_simulation(config, warp_drive=True)
+
+    def test_options_and_kwargs_together_rejected(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.raises(TypeError, match="not both"):
+            build_simulation(config, RunOptions(), fast_forward=False)

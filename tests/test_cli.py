@@ -99,6 +99,85 @@ class TestCommands:
         assert "reuse factor      : 1.00" in out
 
 
+class TestCampaign:
+    def _spec_file(self, tmp_path):
+        import json
+
+        spec = {
+            "name": "cli-test",
+            "n_slots": 500,
+            "replications": 2,
+            "seed": 3,
+            "base": {"n_nodes": 6},
+            "workload": {"n_connections": 4, "utilisation": 0.5},
+            "axes": {"protocol": ["ccr-edf", "tdma"]},
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_status_resume_report(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        store = str(tmp_path / "store")
+
+        rc = main(
+            ["campaign", "run", "--spec", str(spec), "--store", store,
+             "--limit", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "executed 1" in out and "3 remaining" in out
+
+        rc = main(["campaign", "status", "--store", store])
+        assert rc == 0
+        assert "1/4 cached" in capsys.readouterr().out
+
+        # Resume from the store snapshot alone (no --spec) and skip the
+        # cached run.
+        rc = main(["campaign", "run", "--store", store, "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "skipped 1 cached" in out and "0 remaining" in out
+
+        csv_path = tmp_path / "out.csv"
+        rc = main(
+            ["campaign", "report", "--store", store,
+             "--csv", str(csv_path), "--marginal", "rt_miss_ratio"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rows written" in out and "marginal means" in out
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 5  # header + 4 runs
+        assert lines[0].startswith("point,replication,run_key,seed,protocol")
+
+    def test_report_refuses_incomplete_without_partial(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        store = str(tmp_path / "store")
+        main(["campaign", "run", "--spec", str(spec), "--store", store,
+              "--limit", "1"])
+        capsys.readouterr()
+        rc = main(
+            ["campaign", "report", "--store", store,
+             "--csv", str(tmp_path / "o.csv")]
+        )
+        assert rc == 2
+        assert "not cached yet" in capsys.readouterr().err
+        rc = main(
+            ["campaign", "report", "--store", store, "--partial",
+             "--csv", str(tmp_path / "o.csv")]
+        )
+        assert rc == 0
+        assert len((tmp_path / "o.csv").read_text().splitlines()) == 2
+
+    def test_missing_store_and_spec_is_an_error(self, tmp_path, capsys):
+        rc = main(
+            ["campaign", "status", "--store", str(tmp_path / "nowhere")]
+        )
+        assert rc == 2
+        assert "cannot load campaign" in capsys.readouterr().err
+
+
 class TestAnalyze:
     def test_specs_admitted_and_bounded(self, capsys):
         rc = main(
