@@ -20,7 +20,7 @@ from repro.services.barrier import BarrierCoordinator
 from repro.services.reduction import GlobalReduction
 from repro.services.reliable import PacketLossModel, ReliableStats
 from repro.services.shortmsg import ShortMessageService
-from repro.sim.runner import build_simulation
+from repro.sim.runner import RunOptions, build_simulation
 
 N_NODES = 8
 ITERATIONS = 10
@@ -33,8 +33,10 @@ def main() -> None:
     config = ScenarioConfig(n_nodes=N_NODES)
     sim = build_simulation(
         config,
-        extra_sources=list(injectors.values()),
-        loss_model=PacketLossModel(LOSS_P, np.random.default_rng(5)),
+        RunOptions(
+            extra_sources=list(injectors.values()),
+            loss_model=PacketLossModel(LOSS_P, np.random.default_rng(5)),
+        ),
     )
     barrier = BarrierCoordinator(sim, injectors, coordinator=0)
     reducer = GlobalReduction(sim, injectors)

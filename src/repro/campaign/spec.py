@@ -129,7 +129,7 @@ class Campaign:
             (str(name), tuple(values)) for name, values in axes
         )
         object.__setattr__(self, "axes", axes)
-        seen = set()
+        seen: set[str] = set()
         for axis, values in axes:
             if axis in seen:
                 raise ValueError(f"duplicate axis {axis!r}")
@@ -173,7 +173,7 @@ class Campaign:
 
     # -- serialisation -------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """The spec as a JSON-ready dict (inverse of :meth:`from_dict`)."""
         from repro.obs.manifest import scenario_to_dict
 

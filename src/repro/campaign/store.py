@@ -22,6 +22,7 @@ import dataclasses
 import json
 import os
 from pathlib import Path
+from typing import Any
 
 from repro.campaign.grid import RunSpec
 from repro.campaign.spec import Campaign
@@ -99,11 +100,11 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
-    def save(self, key: str, row: dict) -> Path:
+    def save(self, key: str, row: dict[str, Any]) -> Path:
         """Persist one finished run atomically."""
         return self._write_json(self.path_for(key), row)
 
-    def load(self, key: str) -> dict:
+    def load(self, key: str) -> dict[str, Any]:
         """Load one cached run's document back."""
         return json.loads(self.path_for(key).read_text())
 
@@ -117,7 +118,7 @@ class ResultStore:
 
     # -- internals ------------------------------------------------------
 
-    def _write_json(self, path: Path, payload: dict) -> Path:
+    def _write_json(self, path: Path, payload: dict[str, Any]) -> Path:
         """Atomic JSON write: tmp sibling + rename."""
         text = json.dumps(
             payload, indent=2, sort_keys=True, default=_json_default

@@ -13,7 +13,9 @@ Three subcommands cover the common workflows without writing a script:
 * ``inspect``  -- replay a JSONL event log (``simulate --events``) and
   print its reconstructed totals;
 * ``campaign`` -- run / resume / report a declarative multi-scenario
-  sweep from a JSON spec (see ``docs/CAMPAIGNS.md``).
+  sweep from a JSON spec (see ``docs/CAMPAIGNS.md``);
+* ``lint``     -- run the determinism / protocol-invariant static
+  analysis suite over a source tree (see ``docs/LINTING.md``).
 
 Examples::
 
@@ -25,6 +27,7 @@ Examples::
     python -m repro analyze --nodes 8 --spec 10:2 --spec 25:5
     python -m repro campaign run --spec sweep.json --store results/ --jobs 4
     python -m repro campaign report --store results/ --csv sweep.csv
+    python -m repro lint src/repro --baseline .repro-lint-baseline.json
 """
 
 from __future__ import annotations
@@ -845,6 +848,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="report even when some runs are not cached yet",
     )
     p_crep.set_defaults(func=cmd_campaign_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis for determinism / protocol invariants",
+    )
+
+    def cmd_lint(args: argparse.Namespace) -> int:
+        from repro.lint.cli import run as lint_run
+
+        return lint_run(args)
+
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_ins = sub.add_parser(
         "inspect",

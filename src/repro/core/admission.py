@@ -52,7 +52,7 @@ class AdmissionController:
     all requests through one node, and the simulator honours that.
     """
 
-    def __init__(self, timing: NetworkTiming):
+    def __init__(self, timing: NetworkTiming) -> None:
         self.timing = timing
         self._accepted: dict[int, LogicalRealTimeConnection] = {}
         self._suspended: dict[int, LogicalRealTimeConnection] = {}

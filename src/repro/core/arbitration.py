@@ -101,7 +101,7 @@ class Arbiter:
         useful for controlled experiments.
     """
 
-    def __init__(self, spatial_reuse: bool = True, max_grants: int | None = None):
+    def __init__(self, spatial_reuse: bool = True, max_grants: int | None = None) -> None:
         if max_grants is not None and max_grants < 1:
             raise ValueError(f"max_grants must be >= 1 or None, got {max_grants}")
         self.spatial_reuse = spatial_reuse

@@ -29,7 +29,7 @@ from repro.core.mapping import LaxityMapping, LogarithmicMapping
 from repro.core.messages import Message, MessageStatus
 from repro.core.priorities import PRIO_NON_REAL_TIME, TrafficClass
 from repro.core.queues import NodeQueues
-from repro.obs.events import ArbitrationDenied
+from repro.obs.events import ArbitrationDenied, EventDispatcher
 from repro.phy.packets import CollectionPacket, CollectionRequest, DistributionPacket
 from repro.ring.segments import links_for_multicast
 from repro.ring.topology import RingTopology
@@ -89,12 +89,12 @@ class SlotOutcome:
 class MacProtocol(ABC):
     """Interface every MAC implementation exposes to the simulator."""
 
-    def __init__(self, topology: RingTopology):
+    def __init__(self, topology: RingTopology) -> None:
         self.topology = topology
         #: Optional :class:`~repro.obs.events.EventDispatcher`; set by the
         #: simulator when observability is on.  Protocols may emit typed
         #: events (e.g. arbitration denials) through it.
-        self.observer = None
+        self.observer: EventDispatcher | None = None
         # Identity of the last queue mapping that passed the coverage
         # check: the simulator hands the same mapping object to every
         # slot, so validating it once (instead of rebuilding two sets per
@@ -204,7 +204,7 @@ class CcrEdfProtocol(MacProtocol):
         arbiter: Arbiter | None = None,
         handover: ClockHandoverStrategy | None = None,
         trace_packets: bool = False,
-    ):
+    ) -> None:
         super().__init__(topology)
         self.mapping = mapping if mapping is not None else LogarithmicMapping()
         self.arbiter = arbiter if arbiter is not None else Arbiter(spatial_reuse=True)
@@ -292,7 +292,7 @@ class CcrEdfProtocol(MacProtocol):
         n_requests = len(entries)
         requests_by_node = dict(entries)
 
-        packet = None
+        packet: CollectionPacket | None = None
         if self.trace_packets:
             # Wire-level trace: assemble the exact Figure 4 packet.
             empty = CollectionRequest.empty()
@@ -337,7 +337,7 @@ class CcrEdfProtocol(MacProtocol):
             gap_s = self.handover.gap_s(self.topology, current_master, next_master)
             self._gap_cache[gap_key] = gap_s
 
-        transmissions = []
+        transmissions: list[PlannedTransmission] = []
         for grant in result.grants:
             msg = messages_by_node[grant.node]  # granted nodes requested
             transmissions.append(
@@ -348,7 +348,7 @@ class CcrEdfProtocol(MacProtocol):
                     destinations=msg.destinations,
                 )
             )
-        denied = []
+        denied: list[PlannedTransmission] = []
         for node in result.denied_by_break:
             msg = messages_by_node[node]
             denied.append(
@@ -360,7 +360,7 @@ class CcrEdfProtocol(MacProtocol):
                 )
             )
 
-        distribution = None
+        distribution: DistributionPacket | None = None
         if self.trace_packets:
             assert packet is not None
             distribution = self.arbiter.build_distribution_packet(packet, result)

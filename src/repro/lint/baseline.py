@@ -1,0 +1,64 @@
+"""Grandfathered-findings baseline.
+
+A baseline file makes pre-existing findings explicit, reviewable diffs:
+``repro lint --baseline .repro-lint-baseline.json`` subtracts them from
+the report (multiset semantics — two identical grandfathered findings
+need two entries), and ``--update-baseline`` rewrites the file from the
+current findings so any newly grandfathered entry shows up in review.
+
+Entries key on ``(rule, path, message)`` and deliberately not on line
+numbers, so a baselined finding survives unrelated edits above it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the repo root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline as a multiset of finding keys."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    keys: Counter = Counter()
+    for entry in doc["findings"]:
+        keys[(entry["rule"], entry["path"], entry["message"])] += 1
+    return keys
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Subtract baselined findings; returns (remaining, n_suppressed)."""
+    budget = Counter(baseline)
+    remaining: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            remaining.append(finding)
+    return remaining, suppressed
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> Path:
+    """Persist the current findings as the new baseline (sorted)."""
+    path = Path(path)
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path

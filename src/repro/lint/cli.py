@@ -1,0 +1,134 @@
+"""``repro lint`` / ``python -m repro.lint`` command-line front end."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintEngine
+from repro.lint.registry import all_rules, rule_names
+from repro.lint.reporters import render_json, render_text
+
+
+def default_paths() -> list[str]:
+    """What to lint when no path is given.
+
+    Prefers ``src/repro`` under the current directory (the in-repo
+    workflow); falls back to the installed package's own source tree.
+    """
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [str(candidate)]
+    import repro
+
+    return [str(Path(repro.__file__).resolve().parent)]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register lint options (shared by ``repro lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(e.g. {DEFAULT_BASELINE_NAME}); missing file = empty baseline"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit status."""
+    rules = all_rules()
+    if args.list_rules:
+        width = max(len(r.name) for r in rules)
+        for rule in rules:
+            print(f"{rule.name:<{width}}  {rule.summary}")
+        return 0
+
+    if args.select:
+        wanted = {name.strip() for name in args.select.split(",") if name.strip()}
+        unknown = wanted - rule_names()
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = tuple(r for r in rules if r.name in wanted)
+
+    paths = args.paths or default_paths()
+    try:
+        findings, n_files = LintEngine(rules).run(paths)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        path = write_baseline(args.baseline, findings)
+        print(f"baseline written: {len(findings)} finding(s) -> {path}")
+        return 0
+
+    n_baselined = 0
+    if args.baseline and Path(args.baseline).exists():
+        findings, n_baselined = apply_baseline(
+            findings, load_baseline(args.baseline)
+        )
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, n_files=n_files, n_baselined=n_baselined))
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Stand-alone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "determinism & protocol-invariant static analysis "
+            "(see docs/LINTING.md)"
+        ),
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Rule ``no-deprecated-api``: in-repo code must not use its own shims.
+
+PR 4 froze the run surface behind ``RunOptions`` and the symmetric
+``SignallingResult`` dialogue; the pre-1.1 spellings survive only as
+warning shims for external callers.  In-repo callers going through the
+shims would hide the warnings from users (the suite runs under
+``-W error::DeprecationWarning``) and re-entrench the old surface:
+
+* ``run_scenario(config, n, profiler=...)`` / ``build_simulation(
+  config, trace=...)`` keyword forms — pass ``options=RunOptions(...)``;
+* ``ConnectionClient.open`` / ``.close`` — use ``open_connection`` /
+  ``close_connection``, which return a ``SignallingResult``.
+
+Client detection is intentionally simple: direct calls on a
+``ConnectionClient(...)`` constructor result and calls through local
+names assigned from one.  Renaming through containers defeats it — the
+deprecation *warning* still catches those at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register
+
+#: Modules that define the shims (their bodies are exempt).
+SHIM_MODULES = ("repro.sim.runner", "repro.services.api")
+
+#: Keyword arguments the post-PR-4 signatures accept.
+ALLOWED_KEYWORDS = frozenset({"config", "options", "n_slots"})
+
+#: Positional-argument budget of the new signatures.
+MAX_POSITIONAL = {"build_simulation": 2, "run_scenario": 3}
+
+DEPRECATED_METHODS = {
+    "open": "open_connection",
+    "close": "close_connection",
+}
+
+
+@register
+class NoDeprecatedApi(LintRule):
+    """Flag in-repo calls through the deprecated pre-1.1 API shims."""
+
+    name = "no-deprecated-api"
+    summary = "calls through the pre-1.1 RunOptions/ConnectionClient shims"
+    invariant = (
+        "one run surface: RunOptions bundles attachments, "
+        "SignallingResult reports signalling; shims exist for external "
+        "callers only"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if any(
+            module.module == shim or module.module.endswith("." + shim)
+            for shim in SHIM_MODULES
+        ):
+            return
+        client_names = self._connection_client_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_legacy_kwargs(module, node)
+            yield from self._check_client_call(module, node, client_names)
+
+    # -- run_scenario / build_simulation keyword shims -----------------
+
+    def _check_legacy_kwargs(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Iterable[Finding]:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in MAX_POSITIONAL:
+            return
+        bad_kw = [
+            kw.arg
+            for kw in call.keywords
+            if kw.arg is not None and kw.arg not in ALLOWED_KEYWORDS
+        ]
+        if bad_kw:
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"{name}({', '.join(sorted(bad_kw))}=...) uses the "
+                    "deprecated pre-1.1 keyword shim; pass "
+                    "options=RunOptions(...)"
+                ),
+            )
+        if len(call.args) > MAX_POSITIONAL[name]:
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"{name}() with {len(call.args)} positional arguments "
+                    "uses the deprecated extra_sources slot; pass "
+                    "options=RunOptions(extra_sources=...)"
+                ),
+            )
+
+    # -- ConnectionClient.open / .close --------------------------------
+
+    @staticmethod
+    def _connection_client_names(tree: ast.Module) -> frozenset[str]:
+        """Local names assigned directly from ``ConnectionClient(...)``."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            ctor = node.value.func
+            ctor_name = (
+                ctor.id
+                if isinstance(ctor, ast.Name)
+                else ctor.attr
+                if isinstance(ctor, ast.Attribute)
+                else None
+            )
+            if ctor_name != "ConnectionClient":
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return frozenset(names)
+
+    def _check_client_call(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        client_names: frozenset[str],
+    ) -> Iterable[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        replacement = DEPRECATED_METHODS.get(func.attr)
+        if replacement is None:
+            return
+        receiver = func.value
+        is_client = (
+            isinstance(receiver, ast.Name) and receiver.id in client_names
+        ) or (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, (ast.Name, ast.Attribute))
+            and (
+                receiver.func.id
+                if isinstance(receiver.func, ast.Name)
+                else receiver.func.attr
+            )
+            == "ConnectionClient"
+        )
+        if is_client:
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"ConnectionClient.{func.attr}() is deprecated; use "
+                    f"{replacement}(), which returns a SignallingResult"
+                ),
+            )

@@ -1,0 +1,61 @@
+"""Rule ``frozen-dataclass-mutation``: frozen means frozen.
+
+``RunOptions``, ``ScenarioConfig``, campaign specs and the other frozen
+dataclasses are the hashable identity that campaign cache keys and
+manifests fingerprint.  ``object.__setattr__`` pierces the freeze; the
+only sanctioned use is normalisation inside the owning class's
+``__post_init__`` (and pickle's ``__setstate__``), before the value has
+ever been observed.  Anywhere else it mutates an identity after the
+fact — cached results and fingerprints go stale silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.asthelpers import dotted_name
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register
+
+#: Methods inside which ``object.__setattr__`` is legitimate.
+ALLOWED_METHODS = frozenset({"__post_init__", "__setstate__"})
+
+
+@register
+class FrozenDataclassMutation(LintRule):
+    """Flag ``object.__setattr__`` outside ``__post_init__``/``__setstate__``."""
+
+    name = "frozen-dataclass-mutation"
+    summary = "object.__setattr__ outside __post_init__/__setstate__"
+    invariant = (
+        "frozen config values (RunOptions, ScenarioConfig, campaign "
+        "specs) are immutable identities for cache keys and fingerprints"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        yield from self._walk(module, module.tree, in_allowed=False)
+
+    def _walk(
+        self, module: ModuleInfo, node: ast.AST, in_allowed: bool
+    ) -> Iterable[Finding]:
+        for child in ast.iter_child_nodes(node):
+            allowed = in_allowed
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                allowed = child.name in ALLOWED_METHODS
+            if isinstance(child, ast.Call):
+                target = dotted_name(child.func)
+                if target == "object.__setattr__" and not in_allowed:
+                    yield Finding(
+                        rule=self.name,
+                        path=module.rel,
+                        line=child.lineno,
+                        col=child.col_offset,
+                        message=(
+                            "object.__setattr__ mutates a frozen value "
+                            "outside __post_init__; use dataclasses."
+                            "replace() to derive a new value instead"
+                        ),
+                    )
+            yield from self._walk(module, child, allowed)

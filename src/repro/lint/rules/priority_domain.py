@@ -1,0 +1,208 @@
+"""Rule ``priority-domain``: the Table 1 priority allocation, verified.
+
+The paper's 5-bit request priority field allocates (Table 1):
+
+=========  ================================
+level      service
+=========  ================================
+0          nothing to send
+1          non-real-time
+2 - 16     best effort
+17 - 31    logical real-time connection
+=========  ================================
+
+Arbitration, laxity mapping and packet encoding all assume this exact
+tiling; an edit that widens a range or shifts a constant would silently
+change which class outranks which, or overflow the wire field.  This
+rule statically folds the constants out of ``repro.phy.packets`` and
+``repro.core.priorities`` — without importing them — and checks:
+
+* the field is 5 bits and ``MAX_PRIORITY == 2**bits - 1``;
+* ``NO_REQUEST_PRIORITY == 0`` and ``PRIO_NON_REAL_TIME == 1``;
+* the class ranges are well-ordered, stay inside the field, and
+  together with levels 0 and 1 tile ``[0, MAX_PRIORITY]`` exactly.
+
+Unresolvable constants are themselves findings, so the check cannot be
+defeated by rewriting a constant into something opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.asthelpers import fold_int
+from repro.lint.context import ModuleInfo, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register
+
+#: The Table 1 values the paper fixes.
+FIELD_BITS = 5
+TABLE1 = {
+    "NO_REQUEST_PRIORITY": 0,
+    "PRIO_NOTHING_TO_SEND": 0,
+    "PRIO_NON_REAL_TIME": 1,
+}
+
+
+def _int_constants(module: ModuleInfo, env: dict[str, int]) -> dict[str, int]:
+    """Fold module-level integer assignments, resolving through ``env``."""
+    out = dict(env)
+    for node in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        folded = fold_int(value, out)
+        if folded is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = folded
+    return out
+
+
+def _tuple_constant(
+    module: ModuleInfo, name: str, env: dict[str, int]
+) -> tuple[int, int] | None:
+    """Resolve a module-level ``NAME: ... = (lo, hi)`` assignment."""
+    for node in module.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == name
+            and isinstance(value, ast.Tuple)
+            and len(value.elts) == 2
+        ):
+            lo = fold_int(value.elts[0], env)
+            hi = fold_int(value.elts[1], env)
+            if lo is not None and hi is not None:
+                return (lo, hi)
+    return None
+
+
+@register
+class PriorityDomain(LintRule):
+    """Verify the Table 1 constants statically, without importing them."""
+
+    name = "priority-domain"
+    summary = "Table 1 priority constants tile the 5-bit field exactly"
+    invariant = (
+        "5-bit priority domain 0 / 1 / 2-16 / 17-31 (paper Table 1); "
+        "class precedence and wire encoding both assume it"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        packets = project.find("phy.packets")
+        priorities = project.find("core.priorities")
+        if priorities is None:
+            return  # tree under lint does not contain the protocol core
+        env: dict[str, int] = {}
+        if packets is not None:
+            env = _int_constants(packets, {})
+        env = _int_constants(priorities, env)
+
+        def finding(module: ModuleInfo, message: str) -> Finding:
+            return Finding(
+                rule=self.name,
+                path=module.rel,
+                line=1,
+                col=0,
+                message=message,
+            )
+
+        if packets is not None:
+            bits = env.get("PRIORITY_FIELD_BITS")
+            max_prio = env.get("MAX_PRIORITY")
+            if bits != FIELD_BITS:
+                yield finding(
+                    packets,
+                    f"PRIORITY_FIELD_BITS is {bits!r}, expected {FIELD_BITS} "
+                    "(Table 1 allocates a 5-bit field)",
+                )
+            if max_prio is None:
+                yield finding(
+                    packets, "MAX_PRIORITY could not be statically resolved"
+                )
+            elif bits is not None and max_prio != (1 << bits) - 1:
+                yield finding(
+                    packets,
+                    f"MAX_PRIORITY is {max_prio}, expected "
+                    f"{(1 << bits) - 1} for a {bits}-bit field",
+                )
+
+        for name, expected in TABLE1.items():
+            value = env.get(name)
+            if value is None:
+                continue  # constant not present in this tree
+            if value != expected:
+                yield finding(
+                    priorities,
+                    f"{name} is {value}, expected {expected} (Table 1)",
+                )
+
+        max_prio = env.get("MAX_PRIORITY", (1 << FIELD_BITS) - 1)
+        be = _tuple_constant(priorities, "BEST_EFFORT_RANGE", env)
+        rt = _tuple_constant(priorities, "RT_CONNECTION_RANGE", env)
+        if be is None:
+            yield finding(
+                priorities,
+                "BEST_EFFORT_RANGE could not be statically resolved to an "
+                "integer (lo, hi) tuple",
+            )
+        if rt is None:
+            yield finding(
+                priorities,
+                "RT_CONNECTION_RANGE could not be statically resolved to an "
+                "integer (lo, hi) tuple",
+            )
+        if be is None or rt is None:
+            return
+        nrt = env.get("PRIO_NON_REAL_TIME", 1)
+        for label, (lo, hi) in (("BEST_EFFORT_RANGE", be), ("RT_CONNECTION_RANGE", rt)):
+            if not (0 <= lo <= hi <= max_prio):
+                yield finding(
+                    priorities,
+                    f"{label} ({lo}, {hi}) leaves the 5-bit field "
+                    f"[0, {max_prio}] or is inverted",
+                )
+        if be[0] != nrt + 1:
+            yield finding(
+                priorities,
+                f"BEST_EFFORT_RANGE starts at {be[0]}, expected "
+                f"{nrt + 1} (directly above the non-real-time level)",
+            )
+        if rt[0] != be[1] + 1:
+            yield finding(
+                priorities,
+                f"RT_CONNECTION_RANGE starts at {rt[0]} but best effort "
+                f"ends at {be[1]}: the classes must tile without overlap "
+                "or gap",
+            )
+        if rt[1] != max_prio:
+            yield finding(
+                priorities,
+                f"RT_CONNECTION_RANGE ends at {rt[1]}, expected "
+                f"{max_prio}: real-time connections own the top of the "
+                "field",
+            )
+        if be != (2, 16):
+            yield finding(
+                priorities,
+                f"BEST_EFFORT_RANGE is {be}, expected (2, 16) (Table 1)",
+            )
+        if rt != (17, 31):
+            yield finding(
+                priorities,
+                f"RT_CONNECTION_RANGE is {rt}, expected (17, 31) (Table 1)",
+            )

@@ -1,0 +1,131 @@
+"""Rules ``no-unseeded-rng`` and ``rng-not-defaulted``.
+
+Every random draw in the simulator must trace back to one master seed
+through :class:`numpy.random.SeedSequence` spawning — that is what the
+campaign store's content-addressed keys and the parallel replication
+layer rely on.  Two anti-patterns break the chain:
+
+* **no-unseeded-rng** — ``np.random.default_rng()`` (or
+  ``SeedSequence()`` / ``RandomState()``) with no entropy pulls fresh
+  OS entropy, so two invocations of the same run differ.  Only the CLI
+  entry point may mint entropy (from ``--seed``); sim-layer code takes
+  an ``rng: np.random.Generator`` and passes it down.
+
+* **rng-not-defaulted** — ``def f(rng=np.random.default_rng(0))``
+  evaluates the default once at import time, so every call without an
+  explicit generator *shares one stream*: run isolation is gone even
+  though the seed looks fixed.  Default to ``None`` and construct per
+  run instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.asthelpers import ImportMap, resolve_call_target
+from repro.lint.context import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register
+
+#: Modules allowed to mint fresh entropy (CLI entry points only).
+ALLOWED_UNSEEDED_MODULES = ("repro.cli",)
+
+#: RNG constructors whose entropy argument is mandatory in sim code.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+    }
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """No positional entropy and no seed/entropy keyword (or ``None``)."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg in ("seed", "entropy") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return False
+    return True
+
+
+@register
+class NoUnseededRng(LintRule):
+    """Flag RNG constructors that pull fresh OS entropy in sim code."""
+
+    name = "no-unseeded-rng"
+    summary = "default_rng()/SeedSequence() with no entropy outside the CLI"
+    invariant = (
+        "every random draw traces to the master seed; identical runs are "
+        "bit-identical (campaign cache keys, parallel replication)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        if any(
+            module.module == allowed or module.module.endswith("." + allowed)
+            for allowed in ALLOWED_UNSEEDED_MODULES
+        ):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            if target in RNG_CONSTRUCTORS and _is_unseeded(node):
+                short = target.rsplit(".", 1)[-1]
+                yield Finding(
+                    rule=self.name,
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{short}() with no entropy draws fresh OS "
+                        "randomness; thread an rng: np.random.Generator "
+                        "(or a seed) down from the caller"
+                    ),
+                )
+
+
+@register
+class RngNotDefaulted(LintRule):
+    """Flag generators constructed in parameter defaults (def-time)."""
+
+    name = "rng-not-defaulted"
+    summary = "parameter defaults that construct a Generator at def time"
+    invariant = (
+        "one generator per run: def-time defaults share a single stream "
+        "across every call, silently coupling runs"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            arguments = node.args
+            defaults = list(arguments.defaults) + [
+                d for d in arguments.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if not isinstance(default, ast.Call):
+                    continue
+                target = resolve_call_target(default.func, imports)
+                if target in RNG_CONSTRUCTORS or target == "numpy.random.Generator":
+                    yield Finding(
+                        rule=self.name,
+                        path=module.rel,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        message=(
+                            "RNG constructed in a parameter default is "
+                            "evaluated once at def time and shared by all "
+                            "calls; default to None and construct per run"
+                        ),
+                    )

@@ -1,0 +1,66 @@
+"""Harness for fixture-driven lint-rule tests.
+
+Each fixture under ``fixtures/`` is one source file whose first line
+declares where it lives inside a synthetic package tree::
+
+    # lint-fixture-path: repro/sim/engine.py
+
+``materialise`` copies fixtures into a temporary tree, creating the
+``__init__.py`` chain so the engine derives real dotted module names
+(``repro.sim.engine``), and ``run_rules`` lints that tree with a chosen
+rule subset.  Keeping fixtures as real files (rather than inline
+strings) keeps the bad/good snippets readable and diffable.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import LintEngine
+from repro.lint.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_HEADER = "# lint-fixture-path:"
+
+
+def materialise(tmp_path: Path, *fixture_names: str) -> Path:
+    """Copy fixtures into a package tree under ``tmp_path``; return its root."""
+    root = tmp_path / "tree"
+    root.mkdir(exist_ok=True)
+    for name in fixture_names:
+        text = (FIXTURES / name).read_text()
+        first_line = text.splitlines()[0]
+        assert first_line.startswith(_HEADER), (
+            f"fixture {name} must start with '{_HEADER} <relative path>'"
+        )
+        rel = first_line[len(_HEADER):].strip()
+        dest = root / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        package_dir = dest.parent
+        while package_dir != root:
+            (package_dir / "__init__.py").touch()
+            package_dir = package_dir.parent
+        dest.write_text(text)
+    return root
+
+
+def run_rules(root: Path, *rule_names: str):
+    """Lint ``root`` with the named rules (all rules when none given)."""
+    rules = all_rules()
+    if rule_names:
+        rules = tuple(r for r in rules if r.name in rule_names)
+        assert len(rules) == len(rule_names), f"unknown rule in {rule_names}"
+    findings, _ = LintEngine(rules).run([root], root=root)
+    return findings
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """``lint_tree(*fixtures, rules=(...))`` -> findings of those rules."""
+
+    def _run(*fixture_names: str, rules: tuple[str, ...] = ()):
+        root = materialise(tmp_path, *fixture_names)
+        return run_rules(root, *rules)
+
+    return _run

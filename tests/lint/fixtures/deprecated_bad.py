@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/scripts/legacy.py
+"""Every deprecated pre-1.1 call form in one place."""
+
+from repro.services.api import ConnectionClient
+from repro.sim.runner import build_simulation, run_scenario
+
+
+def run(config, profiler, sources) -> None:
+    run_scenario(config, n_slots=100, profiler=profiler)
+    sim = build_simulation(config, sources, sources)
+    client = ConnectionClient(sim, None, 0, {})
+    client.open(None)
+    ConnectionClient(sim, None, 0, {}).close(7)

@@ -1,0 +1,18 @@
+# lint-fixture-path: repro/scripts/modern.py
+"""The post-1.1 surface, plus look-alikes that must stay quiet."""
+
+from repro.services.api import ConnectionClient
+from repro.sim.runner import RunOptions, build_simulation, run_scenario
+
+
+def run(config, profiler, sources, conn) -> None:
+    run_scenario(config, n_slots=100, options=RunOptions(profiler=profiler))
+    sim = build_simulation(config, RunOptions(extra_sources=sources))
+    client = ConnectionClient(sim, None, 0, {})
+    client.open_connection(conn)
+    client.close_connection(conn.connection_id)
+    # Same method names on non-client receivers: not deprecated calls.
+    handle = open("somefile")
+    handle.close()
+    box = sources[0]
+    box.open()

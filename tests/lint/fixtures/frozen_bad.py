@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/core/config.py
+"""Mutating a frozen dataclass after construction."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Options:
+    n: int = 0
+
+
+def tweak(options: Options, n: int) -> None:
+    object.__setattr__(options, "n", n)

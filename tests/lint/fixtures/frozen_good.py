@@ -1,0 +1,20 @@
+# lint-fixture-path: repro/core/config.py
+"""The sanctioned uses: normalisation in __post_init__ / __setstate__."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Options:
+    values: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+
+def derive(options: Options, values: tuple) -> Options:
+    return dataclasses.replace(options, values=values)

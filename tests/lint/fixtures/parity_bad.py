@@ -1,0 +1,11 @@
+# lint-fixture-path: repro/sim/metrics.py
+"""Counter names with no event type behind them."""
+
+
+class Recorder:
+    def __init__(self, registry) -> None:
+        self.registry = registry
+
+    def record(self, kind: str) -> None:
+        self.registry.inc("sim:bogus_total", 1)
+        self.registry.inc(f"sim:zap:{kind}", 1)

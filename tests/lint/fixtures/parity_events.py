@@ -1,0 +1,15 @@
+# lint-fixture-path: repro/obs/events.py
+"""Minimal event taxonomy: two kinds, a handful of fields."""
+
+
+class SlotExecuted:
+    kind = "slot"
+    slot: int
+    delivered: int
+    missed: int
+
+
+class FaultInjected:
+    kind = "fault"
+    slot: int
+    fault_kind: str

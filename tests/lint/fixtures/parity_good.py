@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/sim/metrics.py
+"""Counter names that all map into the event taxonomy (or allowlist)."""
+
+
+class Recorder:
+    def __init__(self, registry) -> None:
+        self.registry = registry
+
+    def record(self, kind: str, name: str, dt: float) -> None:
+        self.registry.inc("sim:delivered", 1)
+        self.registry.inc(f"sim:fault:{kind}", 1)
+        self.registry.observe("phase:arbitrate", dt)
+        self.registry.inc(name, 1)  # fully dynamic: statically skipped

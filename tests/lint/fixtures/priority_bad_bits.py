@@ -1,0 +1,5 @@
+# lint-fixture-path: repro/phy/packets.py
+"""A widened priority field: 6 bits instead of the paper's 5."""
+
+PRIORITY_FIELD_BITS = 6
+MAX_PRIORITY = (1 << PRIORITY_FIELD_BITS) - 1

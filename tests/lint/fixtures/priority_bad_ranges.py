@@ -1,0 +1,8 @@
+# lint-fixture-path: repro/core/priorities.py
+"""A widened best-effort class: well-formed tiling, wrong Table 1 split."""
+
+NO_REQUEST_PRIORITY = 0
+PRIO_NOTHING_TO_SEND = 0
+PRIO_NON_REAL_TIME = 1
+BEST_EFFORT_RANGE = (2, 20)
+RT_CONNECTION_RANGE = (21, 31)

@@ -1,0 +1,10 @@
+# lint-fixture-path: repro/core/priorities.py
+"""Table 1 priority allocation (good variant)."""
+
+from repro.phy.packets import MAX_PRIORITY
+
+NO_REQUEST_PRIORITY = 0
+PRIO_NOTHING_TO_SEND = 0
+PRIO_NON_REAL_TIME = 1
+BEST_EFFORT_RANGE = (2, 16)
+RT_CONNECTION_RANGE = (17, MAX_PRIORITY)

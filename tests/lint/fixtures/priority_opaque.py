@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/core/priorities.py
+"""Ranges hidden behind a call: statically unresolvable, so a finding."""
+
+
+def _range(lo: int, hi: int) -> tuple:
+    return (lo, hi)
+
+
+NO_REQUEST_PRIORITY = 0
+PRIO_NOTHING_TO_SEND = 0
+PRIO_NON_REAL_TIME = 1
+BEST_EFFORT_RANGE = _range(2, 16)
+RT_CONNECTION_RANGE = _range(17, 31)

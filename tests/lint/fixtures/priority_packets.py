@@ -1,0 +1,5 @@
+# lint-fixture-path: repro/phy/packets.py
+"""Table 1 field constants (good variant)."""
+
+PRIORITY_FIELD_BITS = 5
+MAX_PRIORITY = (1 << PRIORITY_FIELD_BITS) - 1

@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/sim/noise.py
+"""Sim-layer module minting fresh OS entropy four different ways."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make() -> tuple:
+    a = np.random.default_rng()
+    b = default_rng(None)
+    c = np.random.SeedSequence()
+    d = np.random.default_rng(seed=None)
+    return a, b, c, d

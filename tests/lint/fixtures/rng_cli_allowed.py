@@ -1,0 +1,9 @@
+# lint-fixture-path: repro/cli.py
+"""The CLI entry point may mint entropy (from --seed or fresh)."""
+
+import numpy as np
+
+
+def main() -> int:
+    rng = np.random.default_rng()
+    return int(rng.integers(2))

@@ -1,0 +1,12 @@
+# lint-fixture-path: repro/traffic/gen.py
+"""Generator constructed in a parameter default: one stream for all calls."""
+
+import numpy as np
+
+
+def draw(n: int, rng=np.random.default_rng(0)) -> object:
+    return rng.random(n)
+
+
+def pick(*, rng=np.random.default_rng(7)) -> float:
+    return float(rng.random())

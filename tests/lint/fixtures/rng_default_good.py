@@ -1,0 +1,10 @@
+# lint-fixture-path: repro/traffic/gen.py
+"""Default to None; construct the generator per call."""
+
+import numpy as np
+
+
+def draw(n: int, rng: np.random.Generator | None = None, seed: int = 0) -> object:
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,16 @@
+# lint-fixture-path: repro/sim/noise.py
+"""Sim-layer module with every generator seeded or threaded through."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make(seed: int) -> tuple:
+    a = np.random.default_rng(seed)
+    b = default_rng(123)
+    c = np.random.SeedSequence(entropy=[1, 2])
+    return a, b, c
+
+
+def draw(rng: np.random.Generator) -> float:
+    return rng.random()

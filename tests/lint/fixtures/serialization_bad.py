@@ -1,0 +1,19 @@
+# lint-fixture-path: repro/obs/dump.py
+"""Order-dependent iteration inside artifact-serialising functions."""
+
+import json
+
+
+def to_dict(data: dict) -> dict:
+    return {key: value for key, value in data.items()}
+
+
+def write(data: dict, fh) -> None:
+    for key in data.keys():
+        fh.write(key)
+    json.dump(data, fh)
+
+
+def over_set(fh) -> None:
+    out = [value for value in {3, 1, 2}]
+    json.dump(out, fh)

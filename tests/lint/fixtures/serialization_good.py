@@ -1,0 +1,24 @@
+# lint-fixture-path: repro/obs/dump.py
+"""Sorted iteration, order-insensitive reductions, non-serialisers."""
+
+import json
+
+
+def to_dict(data: dict) -> dict:
+    return {key: value for key, value in sorted(data.items())}
+
+
+def write(data: dict, fh) -> None:
+    for key in sorted(data.keys()):
+        fh.write(key)
+    total = sum(data.values())
+    fh.write(str(total))
+    json.dump(data, fh, sort_keys=True)
+
+
+def not_a_serializer(data: dict) -> int:
+    # Bare iteration is fine outside serialising functions.
+    count = 0
+    for _ in data.items():
+        count += 1
+    return count

@@ -1,0 +1,12 @@
+# lint-fixture-path: repro/sim/scratch.py
+"""Bare iteration in a serialiser OUTSIDE the scoped artifact modules."""
+
+import json
+
+
+def to_dict(data: dict) -> dict:
+    return {key: value for key, value in data.items()}
+
+
+def write(data: dict, fh) -> None:
+    json.dump(data, fh)

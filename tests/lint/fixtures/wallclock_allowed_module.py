@@ -1,0 +1,8 @@
+# lint-fixture-path: repro/sim/profiling.py
+"""The profiler is on the wallclock allowlist; host reads are its job."""
+
+import time
+
+
+def now() -> float:
+    return time.perf_counter()

@@ -1,0 +1,15 @@
+# lint-fixture-path: repro/sim/engine.py
+"""Sim-layer module reading the host clock four different ways."""
+
+import time
+import time as clock
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp() -> tuple:
+    a = time.time()
+    b = clock.monotonic()
+    c = perf_counter()
+    d = datetime.now()
+    return a, b, c, d

@@ -1,0 +1,10 @@
+# lint-fixture-path: repro/sim/engine.py
+"""Sim-layer module deriving everything from the slot counter."""
+
+
+def elapsed_slots(start_slot: int, current_slot: int) -> int:
+    return current_slot - start_slot
+
+
+def slot_time_s(slot: int, slot_length_s: float) -> float:
+    return slot * slot_length_s

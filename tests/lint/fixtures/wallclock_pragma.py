@@ -1,0 +1,9 @@
+# lint-fixture-path: repro/sim/meta.py
+"""Host timing with a same-line justification pragma."""
+
+import time
+
+
+def host_elapsed() -> float:
+    t0 = time.perf_counter()  # repro-lint: disable=no-wallclock-in-sim
+    return time.perf_counter() - t0  # repro-lint: disable=no-wallclock-in-sim

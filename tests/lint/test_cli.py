@@ -1,0 +1,163 @@
+"""CLI behaviour (exit codes, baseline flow) and the pinned clean-tree gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+from tests.lint.conftest import materialise
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_good.py")
+        assert main([str(root)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_bad.py")
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "no-wallclock-in-sim" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "does-not-exist")]) == 2
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_good.py")
+        assert main([str(root), "--select", "no-such-rule"]) == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_bad.py", "rng_bad.py")
+        assert main([str(root), "--select", "no-unseeded-rng"]) == 1
+        out = capsys.readouterr().out
+        assert "no-unseeded-rng" in out
+        assert "no-wallclock-in-sim" not in out
+
+
+class TestListRules:
+    def test_lists_all_eight(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "no-wallclock-in-sim",
+            "no-unseeded-rng",
+            "rng-not-defaulted",
+            "frozen-dataclass-mutation",
+            "no-deprecated-api",
+            "sorted-iteration-before-serialization",
+            "priority-domain",
+            "event-metric-parity",
+        ):
+            assert name in out
+
+
+class TestBaselineFlow:
+    def test_update_requires_baseline_path(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_bad.py")
+        assert main([str(root), "--update-baseline"]) == 2
+
+    def test_update_then_lint_is_clean(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_bad.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(root), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        assert len(doc["findings"]) == 4
+        capsys.readouterr()
+        assert main([str(root), "--baseline", str(baseline)]) == 0
+        assert "4 baselined" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = materialise(tmp_path, "wallclock_bad.py")
+        assert main([str(root), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 4
+        assert all(f["rule"] == "no-wallclock-in-sim" for f in doc["findings"])
+
+
+class TestRealTree:
+    """The acceptance gate: the shipped source tree must lint clean."""
+
+    def test_src_repro_is_lint_clean(self, capsys):
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        status = main([str(SRC_REPRO), "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert status == 0, f"src/repro must stay lint-clean:\n{out}"
+
+    def test_baseline_file_is_empty(self):
+        doc = json.loads((REPO_ROOT / ".repro-lint-baseline.json").read_text())
+        assert doc == {"version": 1, "findings": []}
+
+    def test_examples_and_benchmarks_are_lint_clean(self, capsys):
+        paths = [
+            str(REPO_ROOT / d)
+            for d in ("examples", "benchmarks")
+            if (REPO_ROOT / d).is_dir()
+        ]
+        assert paths, "examples/ and benchmarks/ should exist"
+        status = main(paths)
+        out = capsys.readouterr().out
+        assert status == 0, f"examples/benchmarks must stay lint-clean:\n{out}"
+
+    def test_reintroduced_unseeded_rng_in_sim_fails(self, tmp_path, capsys):
+        """Regression pin: the exact hazard the suite exists to catch."""
+        sim = tmp_path / "repro" / "sim"
+        sim.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").touch()
+        (sim / "__init__.py").touch()
+        (sim / "noise.py").write_text(
+            '"""Noise source."""\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()\n"
+        )
+        assert main([str(tmp_path)]) == 1
+        assert "no-unseeded-rng" in capsys.readouterr().out
+
+
+class TestEntryPoints:
+    def test_python_dash_m_repro_lint(self, tmp_path):
+        root = materialise(tmp_path, "wallclock_bad.py")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(root)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert "no-wallclock-in-sim" in proc.stdout
+
+    def test_repro_cli_subcommand(self, tmp_path):
+        root = materialise(tmp_path, "wallclock_good.py")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", str(root)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "0 findings" in proc.stdout
+
+    @pytest.mark.parametrize("flag", ["--help"])
+    def test_help_mentions_baseline(self, flag):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", flag],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "--baseline" in proc.stdout

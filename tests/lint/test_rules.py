@@ -1,0 +1,168 @@
+"""Fixture-driven self-tests: every rule fires on bad, stays quiet on good."""
+
+from tests.lint.conftest import FIXTURES
+
+
+class TestNoWallclockInSim:
+    def test_fires_on_each_call_form(self, lint_tree):
+        findings = lint_tree("wallclock_bad.py", rules=("no-wallclock-in-sim",))
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "time.time()" in messages
+        assert "time.monotonic()" in messages
+        assert "time.perf_counter()" in messages
+        assert "datetime.datetime.now()" in messages
+
+    def test_quiet_on_slot_domain_code(self, lint_tree):
+        assert lint_tree("wallclock_good.py", rules=("no-wallclock-in-sim",)) == []
+
+    def test_allowlisted_module_exempt(self, lint_tree):
+        assert (
+            lint_tree("wallclock_allowed_module.py", rules=("no-wallclock-in-sim",))
+            == []
+        )
+
+    def test_same_line_pragma_suppresses(self, lint_tree):
+        assert lint_tree("wallclock_pragma.py", rules=("no-wallclock-in-sim",)) == []
+
+
+class TestNoUnseededRng:
+    def test_fires_on_each_constructor_form(self, lint_tree):
+        findings = lint_tree("rng_bad.py", rules=("no-unseeded-rng",))
+        assert len(findings) == 4
+        assert all(f.rule == "no-unseeded-rng" for f in findings)
+
+    def test_quiet_when_seeded_or_threaded(self, lint_tree):
+        assert lint_tree("rng_good.py", rules=("no-unseeded-rng",)) == []
+
+    def test_cli_module_may_mint_entropy(self, lint_tree):
+        assert lint_tree("rng_cli_allowed.py", rules=("no-unseeded-rng",)) == []
+
+
+class TestRngNotDefaulted:
+    def test_fires_on_positional_and_kwonly_defaults(self, lint_tree):
+        findings = lint_tree("rng_default_bad.py", rules=("rng-not-defaulted",))
+        assert len(findings) == 2
+
+    def test_quiet_on_none_default(self, lint_tree):
+        assert lint_tree("rng_default_good.py", rules=("rng-not-defaulted",)) == []
+
+
+class TestFrozenDataclassMutation:
+    def test_fires_outside_post_init(self, lint_tree):
+        findings = lint_tree("frozen_bad.py", rules=("frozen-dataclass-mutation",))
+        assert len(findings) == 1
+        assert "dataclasses.replace" in findings[0].message
+
+    def test_quiet_inside_post_init_and_setstate(self, lint_tree):
+        assert (
+            lint_tree("frozen_good.py", rules=("frozen-dataclass-mutation",)) == []
+        )
+
+
+class TestNoDeprecatedApi:
+    def test_fires_on_every_shim_form(self, lint_tree):
+        findings = lint_tree("deprecated_bad.py", rules=("no-deprecated-api",))
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "options=RunOptions" in messages
+        assert "open_connection()" in messages
+        assert "close_connection()" in messages
+
+    def test_quiet_on_modern_surface_and_lookalikes(self, lint_tree):
+        assert lint_tree("deprecated_good.py", rules=("no-deprecated-api",)) == []
+
+
+class TestSortedIterationBeforeSerialization:
+    RULE = "sorted-iteration-before-serialization"
+
+    def test_fires_on_views_and_set_literals(self, lint_tree):
+        findings = lint_tree("serialization_bad.py", rules=(self.RULE,))
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert ".items()" in messages
+        assert ".keys()" in messages
+        assert "set" in messages
+
+    def test_quiet_when_sorted_or_reduced(self, lint_tree):
+        assert lint_tree("serialization_good.py", rules=(self.RULE,)) == []
+
+    def test_out_of_scope_module_exempt(self, lint_tree):
+        assert lint_tree("serialization_out_of_scope.py", rules=(self.RULE,)) == []
+
+
+class TestPriorityDomain:
+    def test_quiet_on_table1(self, lint_tree):
+        assert (
+            lint_tree(
+                "priority_packets.py", "priority_good.py", rules=("priority-domain",)
+            )
+            == []
+        )
+
+    def test_fires_on_widened_classes(self, lint_tree):
+        findings = lint_tree(
+            "priority_packets.py", "priority_bad_ranges.py", rules=("priority-domain",)
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "BEST_EFFORT_RANGE is (2, 20)" in messages
+        assert "RT_CONNECTION_RANGE is (21, 31)" in messages
+
+    def test_fires_on_widened_field(self, lint_tree):
+        findings = lint_tree(
+            "priority_bad_bits.py", "priority_good.py", rules=("priority-domain",)
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "PRIORITY_FIELD_BITS is 6" in messages
+
+    def test_opaque_constants_are_findings(self, lint_tree):
+        findings = lint_tree(
+            "priority_packets.py", "priority_opaque.py", rules=("priority-domain",)
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "BEST_EFFORT_RANGE could not be statically resolved" in messages
+        assert "RT_CONNECTION_RANGE could not be statically resolved" in messages
+
+    def test_quiet_without_protocol_core(self, lint_tree):
+        # Trees without core.priorities (e.g. other fixture runs) are skipped.
+        assert lint_tree("wallclock_good.py", rules=("priority-domain",)) == []
+
+
+class TestEventMetricParity:
+    def test_quiet_when_names_map_to_taxonomy(self, lint_tree):
+        assert (
+            lint_tree("parity_events.py", "parity_good.py",
+                      rules=("event-metric-parity",))
+            == []
+        )
+
+    def test_fires_on_unmapped_names_including_fstring_prefixes(self, lint_tree):
+        findings = lint_tree(
+            "parity_events.py", "parity_bad.py", rules=("event-metric-parity",)
+        )
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "'sim:bogus_total'" in messages
+        assert "sim:zap:" in messages
+
+    def test_quiet_without_event_taxonomy(self, lint_tree):
+        assert lint_tree("parity_good.py", rules=("event-metric-parity",)) == []
+
+
+def test_every_rule_has_a_fixture():
+    """Each registered rule is exercised by at least one fixture test."""
+    from repro.lint.registry import rule_names
+
+    prefixes = {
+        "no-wallclock-in-sim": "wallclock",
+        "no-unseeded-rng": "rng",
+        "rng-not-defaulted": "rng_default",
+        "frozen-dataclass-mutation": "frozen",
+        "no-deprecated-api": "deprecated",
+        "sorted-iteration-before-serialization": "serialization",
+        "priority-domain": "priority",
+        "event-metric-parity": "parity",
+    }
+    assert set(prefixes) == rule_names()
+    for prefix in prefixes.values():
+        assert list(FIXTURES.glob(f"{prefix}*.py")), f"no fixtures for {prefix}"

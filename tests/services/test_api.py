@@ -230,7 +230,7 @@ class TestDeprecatedClientShims:
     def test_open_warns_and_returns_tuple(self):
         _, client = self.make_client()
         with pytest.deprecated_call():
-            decision, cost = client.open(self.conn())
+            decision, cost = client.open(self.conn())  # repro-lint: disable=no-deprecated-api
         assert decision.accepted
         assert isinstance(cost, int) and cost > 0
 
@@ -239,5 +239,5 @@ class TestDeprecatedClientShims:
         c = self.conn()
         client.open_connection(c)
         with pytest.deprecated_call():
-            cost = client.close(c.connection_id)
+            cost = client.close(c.connection_id)  # repro-lint: disable=no-deprecated-api
         assert isinstance(cost, int) and cost > 0

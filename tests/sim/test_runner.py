@@ -125,7 +125,7 @@ class TestRunOptions:
             config, n_slots=400, options=RunOptions(fast_forward=False)
         )
         with pytest.deprecated_call():
-            old = run_scenario(config, n_slots=400, fast_forward=False)
+            old = run_scenario(config, n_slots=400, fast_forward=False)  # repro-lint: disable=no-deprecated-api
         assert new == old
 
     def test_from_scenario_constructor(self):
@@ -152,13 +152,13 @@ class TestDeprecatedShim:
     def test_build_simulation_kwargs_warn(self):
         config = ScenarioConfig(n_nodes=4)
         with pytest.deprecated_call():
-            sim = build_simulation(config, fast_forward=False)
+            sim = build_simulation(config, fast_forward=False)  # repro-lint: disable=no-deprecated-api
         assert sim.fast_forward is False
 
     def test_run_scenario_kwargs_warn(self):
         config = ScenarioConfig(n_nodes=4, connections=(conn(dst=1),))
         with pytest.deprecated_call():
-            report = run_scenario(config, n_slots=100, with_admission=True)
+            report = run_scenario(config, n_slots=100, with_admission=True)  # repro-lint: disable=no-deprecated-api
         assert report.slots_simulated == 100
 
     def test_positional_extra_sources_warn(self):
@@ -172,9 +172,9 @@ class TestDeprecatedShim:
     def test_unknown_kwarg_rejected(self):
         config = ScenarioConfig(n_nodes=4)
         with pytest.raises(TypeError, match="unexpected keyword"):
-            build_simulation(config, warp_drive=True)
+            build_simulation(config, warp_drive=True)  # repro-lint: disable=no-deprecated-api
 
     def test_options_and_kwargs_together_rejected(self):
         config = ScenarioConfig(n_nodes=4)
         with pytest.raises(TypeError, match="not both"):
-            build_simulation(config, RunOptions(), fast_forward=False)
+            build_simulation(config, RunOptions(), fast_forward=False)  # repro-lint: disable=no-deprecated-api

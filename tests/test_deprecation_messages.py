@@ -1,0 +1,97 @@
+"""The deprecation shims must *tell users where to go*.
+
+Satellite coverage for the 1.1 API redesign: each shim's warning text is
+pinned here so it keeps naming the replacement surface (``RunOptions``,
+``open_connection``/``close_connection`` returning ``SignallingResult``).
+A shim that warns without pointing at the modern API is a regression even
+if the warning still fires.
+
+CI additionally runs this module (plus the shim test classes) under
+``-W error::DeprecationWarning`` so an accidental in-repo call through a
+shim escalates to a hard failure.
+"""
+
+import re
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.connection import LogicalRealTimeConnection
+from repro.core.protocol import CcrEdfProtocol
+from repro.core.timing import NetworkTiming
+from repro.phy.link import FibreRibbonLink
+from repro.ring.topology import RingTopology
+from repro.services.api import ConnectionClient, MessageInjector
+from repro.sim.engine import Simulation
+from repro.sim.runner import ScenarioConfig, build_simulation, run_scenario
+
+
+def make_client():
+    topology = RingTopology.uniform(4, 10.0)
+    timing = NetworkTiming(topology=topology, link=FibreRibbonLink())
+    injectors = {i: MessageInjector(i) for i in range(4)}
+    sim = Simulation(
+        timing, CcrEdfProtocol(topology), sources=list(injectors.values())
+    )
+    return ConnectionClient(sim, AdmissionController(timing), 0, injectors)
+
+
+def conn():
+    return LogicalRealTimeConnection(
+        source=1,
+        destinations=frozenset([3]),
+        period_slots=10,
+        size_slots=1,
+    )
+
+
+class TestRunnerShimMessages:
+    def test_build_simulation_kwargs_name_run_options(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape("pass options=RunOptions(...) instead"),
+        ) as record:
+            build_simulation(config, fast_forward=False)  # repro-lint: disable=no-deprecated-api
+        assert "build_simulation(fast_forward=...)" in str(record[0].message)
+
+    def test_run_scenario_kwargs_name_run_options(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape("pass options=RunOptions(...) instead"),
+        ) as record:
+            run_scenario(config, n_slots=10, with_admission=True)  # repro-lint: disable=no-deprecated-api
+        assert "run_scenario(with_admission=...)" in str(record[0].message)
+
+    def test_positional_sources_name_extra_sources_option(self):
+        config = ScenarioConfig(n_nodes=4)
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape("pass options=RunOptions(extra_sources=...)"),
+        ):
+            build_simulation(config, [MessageInjector(0)])
+
+
+class TestClientShimMessages:
+    def test_open_names_open_connection_and_result_type(self):
+        client = make_client()
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape(
+                "use open_connection(), which returns a SignallingResult"
+            ),
+        ):
+            client.open(conn())  # repro-lint: disable=no-deprecated-api
+
+    def test_close_names_close_connection_and_result_type(self):
+        client = make_client()
+        c = conn()
+        client.open_connection(c)
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape(
+                "use close_connection(), which returns a SignallingResult"
+            ),
+        ):
+            client.close(c.connection_id)  # repro-lint: disable=no-deprecated-api
