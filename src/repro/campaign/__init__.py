@@ -29,22 +29,38 @@ or, from the command line, ``repro campaign run --spec spec.json``.
 
 from repro.campaign.executor import (
     ExecutionSummary,
+    RunTimeoutError,
+    WorkerCrashError,
+    backoff_delay,
     execute_run,
     run_campaign,
 )
 from repro.campaign.grid import GridPoint, RunSpec, expand_grid, expand_runs
 from repro.campaign.report import CampaignReport
-from repro.campaign.spec import Campaign, WorkloadSpec
-from repro.campaign.store import ResultStore, run_key
+from repro.campaign.spec import Campaign, RetryPolicy, WorkloadSpec
+from repro.campaign.store import (
+    FsckReport,
+    ResultStore,
+    StoreError,
+    StoreIntegrityError,
+    run_key,
+)
 
 __all__ = [
     "Campaign",
     "CampaignReport",
     "ExecutionSummary",
+    "FsckReport",
     "GridPoint",
     "ResultStore",
+    "RetryPolicy",
     "RunSpec",
+    "RunTimeoutError",
+    "StoreError",
+    "StoreIntegrityError",
+    "WorkerCrashError",
     "WorkloadSpec",
+    "backoff_delay",
     "execute_run",
     "expand_grid",
     "expand_runs",

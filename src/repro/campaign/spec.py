@@ -64,6 +64,55 @@ class WorkloadSpec:
             )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor treats a run that fails or hangs.
+
+    These are *host-side* knobs: they bound wall-clock behaviour
+    (attempts, backoff, timeouts) without ever entering the run's cache
+    key -- a run's **result** is a pure function of the spec no matter
+    how many attempts it took to obtain.  Backoff jitter is derived from
+    the run's own :class:`numpy.random.SeedSequence` (see
+    :func:`repro.campaign.executor.backoff_delay`), so even the retry
+    *timeline* is reproducible for a given spec.
+    """
+
+    #: Attempts per run before it is quarantined (>= 1).
+    max_attempts: int = 3
+    #: First retry delay in seconds; doubles per subsequent attempt.
+    backoff_base_s: float = 0.5
+    #: Ceiling on the (pre-jitter) backoff delay.
+    backoff_max_s: float = 30.0
+    #: Fraction of the delay randomised away (0 = none, 1 = full range);
+    #: the draw is seeded from the run's entropy, hence deterministic.
+    jitter: float = 0.5
+    #: Per-attempt wall-clock budget in seconds (``None`` = unbounded).
+    #: Enforced only by the sharded executor, which can kill a hung
+    #: worker; the in-process serial path cannot preempt a run.
+    run_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"need at least one attempt, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError(
+                f"run_timeout_s must be positive, got {self.run_timeout_s}"
+            )
+
+
 #: Scenario fields an axis may override.  ``connections`` and
 #: ``fault_config`` are compound values that belong in the base config,
 #: not on an axis.
@@ -103,6 +152,9 @@ class Campaign:
         Independent replications per grid point (>= 1).
     master_seed:
         Root of the deterministic per-run seed derivation.
+    retry:
+        Host-side failure handling (attempts, backoff, timeout); never
+        part of any run's cache key.
     """
 
     name: str
@@ -112,6 +164,7 @@ class Campaign:
     workload: WorkloadSpec | None = None
     n_replications: int = 1
     master_seed: int = 0
+    retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
@@ -189,6 +242,7 @@ class Campaign:
                 else None
             ),
             "axes": [[name, list(values)] for name, values in self.axes],
+            "retry": dataclasses.asdict(self.retry),
         }
 
     @classmethod
@@ -201,7 +255,7 @@ class Campaign:
         :meth:`to_dict` emits.
         """
         known = {"name", "n_slots", "replications", "seed", "base",
-                 "workload", "axes"}
+                 "workload", "axes", "retry"}
         unknown = set(raw) - known
         if unknown:
             raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
@@ -230,6 +284,10 @@ class Campaign:
             axes = tuple(axes.items())
         else:
             axes = tuple((name, tuple(values)) for name, values in axes)
+        retry_raw = raw.get("retry")
+        retry = (
+            RetryPolicy(**retry_raw) if retry_raw is not None else RetryPolicy()
+        )
         return cls(
             name=raw["name"],
             base=base,
@@ -238,6 +296,7 @@ class Campaign:
             workload=workload,
             n_replications=int(raw.get("replications", 1)),
             master_seed=int(raw.get("seed", 0)),
+            retry=retry,
         )
 
     @classmethod

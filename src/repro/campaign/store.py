@@ -1,4 +1,4 @@
-"""On-disk result store with content-addressed run caching.
+"""On-disk result store with content-addressed caching and integrity.
 
 Each finished run is persisted as ``runs/<key>.json`` where ``key`` is
 a :func:`repro.obs.manifest.fingerprint` over everything that determines
@@ -14,13 +14,38 @@ means:
 
 Writes are atomic (tmp file + ``os.replace``) so a run killed mid-write
 never leaves a truncated JSON behind to poison a resume.
+
+Integrity
+---------
+
+Atomic writes protect against *our* crashes, but not against a damaged
+filesystem, a half-copied store directory, or a hand-edited file.  Every
+document is therefore written as an envelope carrying a SHA-256 checksum
+of its canonical payload::
+
+    {"payload": {...}, "sha256": "<hex digest>"}
+
+:meth:`ResultStore.load` verifies the checksum and raises
+:class:`StoreIntegrityError` (naming the offending path and suggesting
+``repro campaign fsck``) on any mismatch, truncation, or undecodable
+JSON; :meth:`ResultStore.is_valid` is the non-raising form the executor
+uses on resume, so a corrupt entry forces a re-run instead of poisoning
+the report.  :meth:`ResultStore.fsck` scans the whole store and (with
+``repair=True``) evicts the damaged entries.
+
+Quarantine documents -- the structured failure records the executor
+writes for runs that exhausted their attempt budget -- live under
+``failed/<key>.json`` in the same envelope format, strictly separate
+from results so a failure can never be served as a row.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -34,12 +59,35 @@ from repro.obs.manifest import (
 )
 
 
+class StoreError(RuntimeError):
+    """A result-store operation failed (bad snapshot, unreadable file)."""
+
+
+class StoreIntegrityError(StoreError):
+    """A store file is corrupt, truncated, or fails its checksum.
+
+    Carries the offending :attr:`path` so tooling (and the error
+    message) can point straight at the damaged file.
+    """
+
+    def __init__(self, path: Path, reason: str) -> None:
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(
+            f"corrupt store entry {self.path}: {reason}; run "
+            "`repro campaign fsck --store <dir>` to scan the store, or "
+            "add --repair to evict damaged entries and force a re-run"
+        )
+
+
 def run_key(spec: RunSpec) -> str:
     """The content-addressed cache key of one run.
 
-    Deliberately excludes the campaign *name*: two campaigns asking for
+    Deliberately excludes the campaign *name* (two campaigns asking for
     the same (config, workload, slots, seed) at the same code version
-    describe the same run and share its cached result.
+    describe the same run and share its cached result) and the
+    :class:`~repro.campaign.spec.RetryPolicy` (host-side execution knobs
+    cannot change a deterministic run's result).
     """
     payload = {
         "config": scenario_to_dict(spec.point.config),
@@ -55,6 +103,38 @@ def run_key(spec: RunSpec) -> str:
     return fingerprint(payload)
 
 
+def _payload_digest(payload: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of a document payload."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """What one :meth:`ResultStore.fsck` scan found (and removed)."""
+
+    #: Files examined (runs, failures, and the spec snapshot if present).
+    scanned: int
+    #: Documents that parsed and passed their checksum.
+    ok: int
+    #: Pre-checksum documents accepted as-is (no digest to verify).
+    legacy: int
+    #: ``(path, reason)`` for every damaged file found.
+    corrupt: tuple[tuple[str, str], ...] = ()
+    #: Damaged files deleted (only with ``repair=True``).
+    repaired: tuple[str, ...] = ()
+    #: Leftover ``*.tmp`` files from interrupted writes (always safe to
+    #: remove; deleted with ``repair=True``).
+    stray_tmp: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """Whether the store holds no damaged entries (after any repair)."""
+        return not self.corrupt or len(self.repaired) == len(self.corrupt)
+
+
 class ResultStore:
     """Directory-backed store of finished campaign runs.
 
@@ -62,13 +142,15 @@ class ResultStore:
 
         <root>/
           campaign.json        # spec snapshot of the last campaign run here
-          runs/<key>.json      # one JSON row per completed run
+          runs/<key>.json      # one checksummed document per completed run
+          failed/<key>.json    # quarantine record per poisoned run
     """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.runs_dir = self.root / "runs"
         self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.failed_dir = self.root / "failed"
 
     # -- campaign snapshot ---------------------------------------------
 
@@ -79,17 +161,30 @@ class ResultStore:
 
     def save_campaign(self, campaign: Campaign) -> Path:
         """Snapshot the campaign spec (so ``status``/``report`` need only
-        the store directory)."""
+        the store directory).  Stored as plain JSON (no checksum
+        envelope): the snapshot is meant to be humanly inspectable and
+        is fully validated by ``Campaign.from_dict`` on load."""
         return self._write_json(self.spec_path, campaign.to_dict())
 
     def load_campaign(self) -> Campaign:
-        """The campaign last saved into this store."""
+        """The campaign last saved into this store.
+
+        Raises :class:`StoreIntegrityError` (not a bare
+        ``JSONDecodeError``) when the snapshot is truncated or
+        hand-edited into invalid JSON.
+        """
         if not self.spec_path.exists():
             raise FileNotFoundError(
                 f"no campaign snapshot at {self.spec_path}; "
                 "run the campaign (or pass --spec) first"
             )
-        return Campaign.from_dict(json.loads(self.spec_path.read_text()))
+        try:
+            raw = json.loads(self.spec_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreIntegrityError(
+                self.spec_path, f"invalid JSON ({exc})"
+            ) from exc
+        return Campaign.from_dict(raw)
 
     # -- run rows -------------------------------------------------------
 
@@ -101,12 +196,38 @@ class ResultStore:
         return self.path_for(key).exists()
 
     def save(self, key: str, row: dict[str, Any]) -> Path:
-        """Persist one finished run atomically."""
-        return self._write_json(self.path_for(key), row)
+        """Persist one finished run atomically (checksummed envelope).
+
+        A successful save also clears any quarantine record left by
+        earlier failed attempts of the same run.
+        """
+        path = self._write_document(self.path_for(key), row)
+        self.clear_failure(key)
+        return path
 
     def load(self, key: str) -> dict[str, Any]:
-        """Load one cached run's document back."""
-        return json.loads(self.path_for(key).read_text())
+        """Load one cached run's document back, verifying its checksum.
+
+        Raises :class:`StoreIntegrityError` for truncated/corrupt JSON
+        or a digest mismatch; accepts pre-checksum (legacy) documents
+        as-is.
+        """
+        return self._read_document(self.path_for(key))
+
+    def is_valid(self, key: str) -> bool:
+        """Whether a cached document exists *and* passes verification.
+
+        The executor's resume scan uses this: a damaged entry reads as
+        "not cached" and is recomputed (the atomic re-write replaces
+        it), instead of surfacing as a corrupt report row.
+        """
+        if key not in self:
+            return False
+        try:
+            self._read_document(self.path_for(key))
+        except StoreError:
+            return False
+        return True
 
     def keys(self) -> list[str]:
         """Keys of every cached run, sorted (content order, not grid
@@ -116,7 +237,154 @@ class ResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.runs_dir.glob("*.json"))
 
+    # -- quarantine records ---------------------------------------------
+
+    def failure_path_for(self, key: str) -> Path:
+        """The file one run's quarantine record lives at."""
+        return self.failed_dir / f"{key}.json"
+
+    def save_failure(self, key: str, doc: dict[str, Any]) -> Path:
+        """Persist a structured quarantine record for a poisoned run."""
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        return self._write_document(self.failure_path_for(key), doc)
+
+    def load_failure(self, key: str) -> dict[str, Any]:
+        """Load one quarantine record back (checksum-verified)."""
+        return self._read_document(self.failure_path_for(key))
+
+    def failure_keys(self) -> list[str]:
+        """Keys of every quarantined run, sorted."""
+        if not self.failed_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.failed_dir.glob("*.json"))
+
+    def clear_failure(self, key: str) -> None:
+        """Drop a run's quarantine record (no-op when absent)."""
+        try:
+            self.failure_path_for(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- integrity ------------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Scan every store file; with ``repair`` evict damaged ones.
+
+        Checks the spec snapshot (valid JSON + a loadable campaign),
+        every run document and every quarantine record (valid JSON +
+        checksum), and reports stray ``*.tmp`` files from interrupted
+        writes.  ``repair=True`` deletes damaged documents and stray tmp
+        files -- eviction, never rewriting: a missing entry is simply
+        recomputed by the next ``campaign run``.
+        """
+        scanned = ok = legacy = 0
+        corrupt: list[tuple[str, str]] = []
+        repaired: list[str] = []
+
+        def _check(path: Path) -> None:
+            nonlocal scanned, ok, legacy
+            scanned += 1
+            try:
+                raw = json.loads(path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+                corrupt.append((str(path), f"invalid JSON ({exc})"))
+                return
+            if not (isinstance(raw, dict) and "sha256" in raw):
+                legacy += 1
+                return
+            payload = raw.get("payload")
+            if not isinstance(payload, dict):
+                corrupt.append((str(path), "envelope has no payload object"))
+                return
+            digest = _payload_digest(payload)
+            if digest != raw["sha256"]:
+                corrupt.append(
+                    (str(path),
+                     f"checksum mismatch (stored {raw['sha256'][:12]}..., "
+                     f"computed {digest[:12]}...)")
+                )
+                return
+            ok += 1
+
+        if self.spec_path.exists():
+            scanned += 1
+            try:
+                Campaign.from_dict(json.loads(self.spec_path.read_text()))
+                ok += 1
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+                corrupt.append((str(self.spec_path), f"invalid JSON ({exc})"))
+            except (ValueError, TypeError, KeyError) as exc:
+                corrupt.append(
+                    (str(self.spec_path), f"not a valid campaign spec ({exc})")
+                )
+        for directory in (self.runs_dir, self.failed_dir):
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                _check(path)
+
+        stray = [
+            str(p)
+            for p in sorted(self.root.rglob("*.tmp"))
+        ]
+        if repair:
+            for path_str, _reason in corrupt:
+                # The snapshot is the campaign's identity; evict data
+                # files only, and let the user replace a broken snapshot
+                # by re-running with --spec.
+                if path_str == str(self.spec_path):
+                    continue
+                Path(path_str).unlink(missing_ok=True)
+                repaired.append(path_str)
+            for path_str in stray:
+                Path(path_str).unlink(missing_ok=True)
+        return FsckReport(
+            scanned=scanned,
+            ok=ok,
+            legacy=legacy,
+            corrupt=tuple(corrupt),
+            repaired=tuple(repaired),
+            stray_tmp=tuple(stray),
+        )
+
     # -- internals ------------------------------------------------------
+
+    def _write_document(self, path: Path, payload: dict[str, Any]) -> Path:
+        """Atomic write of a checksummed document envelope."""
+        return self._write_json(
+            path, {"payload": payload, "sha256": _payload_digest(payload)}
+        )
+
+    def _read_document(self, path: Path) -> dict[str, Any]:
+        """Read a document back, verifying envelope + checksum."""
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise
+        except (OSError, UnicodeDecodeError) as exc:
+            raise StoreIntegrityError(path, f"unreadable ({exc})") from exc
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(
+                path, f"truncated or invalid JSON ({exc})"
+            ) from exc
+        if not isinstance(raw, dict):
+            raise StoreIntegrityError(path, "document is not a JSON object")
+        if "sha256" not in raw:
+            # Pre-integrity-layer document: nothing to verify against.
+            return raw
+        payload = raw.get("payload")
+        if not isinstance(payload, dict):
+            raise StoreIntegrityError(path, "envelope has no payload object")
+        digest = _payload_digest(payload)
+        if digest != raw["sha256"]:
+            raise StoreIntegrityError(
+                path,
+                f"checksum mismatch (stored {str(raw['sha256'])[:12]}..., "
+                f"computed {digest[:12]}...)",
+            )
+        return payload
 
     def _write_json(self, path: Path, payload: dict[str, Any]) -> Path:
         """Atomic JSON write: tmp sibling + rename."""

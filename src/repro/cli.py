@@ -528,50 +528,130 @@ def _campaign_for(args: argparse.Namespace):
     return campaign, store
 
 
+#: ``campaign run`` exit code: runs remain (limit / drain); resumable.
+EXIT_CAMPAIGN_INCOMPLETE = 3
+#: ``campaign run`` exit code: at least one run was quarantined.
+EXIT_CAMPAIGN_QUARANTINED = 4
+
+
 def cmd_campaign_run(args: argparse.Namespace) -> int:
-    """``campaign run``: execute the uncached remainder of a campaign."""
+    """``campaign run``: execute the uncached remainder of a campaign.
+
+    Exit codes: 0 = every run is in the store; 3 = incomplete but
+    resumable (``--limit`` or a drain signal); 4 = one or more runs
+    exhausted their attempt budget and were quarantined.
+    """
+    import dataclasses as _dataclasses
     import time as _time
 
     from repro.campaign import run_campaign
 
     try:
         campaign, store = _campaign_for(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, RuntimeError) as exc:
         print(f"cannot load campaign: {exc}", file=sys.stderr)
         return 2
+    retry = campaign.retry
+    if args.max_attempts is not None:
+        retry = _dataclasses.replace(retry, max_attempts=args.max_attempts)
+    if args.run_timeout is not None:
+        retry = _dataclasses.replace(
+            retry, run_timeout_s=args.run_timeout or None
+        )
+    if retry != campaign.retry:
+        campaign = _dataclasses.replace(campaign, retry=retry)
+    observer = None
+    event_log = None
+    if args.events:
+        from repro.obs.events import EventDispatcher, JsonlEventLog
+
+        observer = EventDispatcher()
+        event_log = observer.add_sink(JsonlEventLog(args.events))
     print(f"campaign '{campaign.name}': {campaign.grid_size} grid points x "
           f"{campaign.n_replications} replications = "
           f"{campaign.total_runs} runs -> {store.root}")
     t0 = _time.perf_counter()
-    summary = run_campaign(
-        campaign, store, n_jobs=args.jobs, limit=args.limit
-    )
+    try:
+        summary = run_campaign(
+            campaign, store, n_jobs=args.jobs, limit=args.limit,
+            observer=observer,
+        )
+    finally:
+        if observer is not None:
+            observer.close()
     elapsed = _time.perf_counter() - t0
     print(f"  executed {summary.executed}, skipped {summary.skipped} cached, "
           f"{summary.remaining} remaining ({elapsed:.2f} s)")
+    if summary.corrupt_replaced:
+        print(f"  {summary.corrupt_replaced} corrupt cache entries replaced "
+              "by re-runs")
+    if summary.failed_attempts:
+        print(f"  {summary.failed_attempts} failed attempts, "
+              f"{summary.pool_rebuilds} worker-pool rebuilds")
+    if event_log is not None:
+        print(f"  event log: {args.events} "
+              f"({event_log.events_written} events)")
+    if summary.quarantined:
+        print(f"  {summary.quarantined} runs QUARANTINED after "
+              f"{campaign.retry.max_attempts} attempts each; see "
+              f"{store.failed_dir}/ (rerun retries them with a fresh "
+              "budget)", file=sys.stderr)
+        return EXIT_CAMPAIGN_QUARANTINED
+    if summary.interrupted:
+        print("  interrupted; drained in-flight runs were persisted -- "
+              "rerun to continue", file=sys.stderr)
+        return EXIT_CAMPAIGN_INCOMPLETE
     if not summary.complete:
         print("  campaign incomplete; rerun to continue (cached runs are "
               "skipped)")
+        return EXIT_CAMPAIGN_INCOMPLETE
     return 0
 
 
+def cmd_campaign_fsck(args: argparse.Namespace) -> int:
+    """``campaign fsck``: verify store integrity, optionally evicting
+    damaged entries (exit 0 = clean / repaired, 1 = damage remains)."""
+    from repro.campaign import ResultStore
+
+    store = ResultStore(args.store)
+    report = store.fsck(repair=args.repair)
+    print(f"store {store.root}: {report.scanned} files scanned, "
+          f"{report.ok} verified, {report.legacy} legacy (no checksum)")
+    for path, reason in report.corrupt:
+        print(f"  CORRUPT {path}: {reason}")
+    for path in report.stray_tmp:
+        print(f"  stray tmp file: {path}")
+    if report.repaired or (args.repair and report.stray_tmp):
+        removed = len(report.repaired) + len(report.stray_tmp)
+        print(f"  evicted {removed} damaged/stray files; re-run the "
+              "campaign to recompute them")
+    elif report.corrupt or report.stray_tmp:
+        print("  run with --repair to evict them (a rerun recomputes "
+              "evicted entries)")
+    return 0 if report.clean else 1
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
-    """``campaign status``: cached/pending runs of a campaign."""
+    """``campaign status``: cached/pending/quarantined runs."""
     from repro.campaign import expand_runs, run_key
 
     try:
         campaign, store = _campaign_for(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, RuntimeError) as exc:
         print(f"cannot load campaign: {exc}", file=sys.stderr)
         return 2
     done = sum(1 for spec in expand_runs(campaign) if run_key(spec) in store)
     total = campaign.total_runs
+    quarantined = len(store.failure_keys())
     print(f"campaign '{campaign.name}' in {store.root}")
     print(f"  grid     : {campaign.grid_size} points "
           f"({' x '.join(campaign.axis_names) or 'no axes'})")
     print(f"  runs     : {done}/{total} cached "
           f"({total - done} pending)")
     print(f"  store    : {len(store)} result files")
+    if quarantined:
+        print(f"  FAILED   : {quarantined} quarantined runs in "
+              f"{store.failed_dir}/ (`campaign run` retries them)")
     return 0
 
 
@@ -581,7 +661,7 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
 
     try:
         campaign, store = _campaign_for(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, RuntimeError) as exc:
         print(f"cannot load campaign: {exc}", file=sys.stderr)
         return 2
     report = CampaignReport.from_store(campaign, store)
@@ -814,6 +894,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute at most N new runs then stop (resume later; "
         "cached runs never count)",
     )
+    p_crun.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="K",
+        help="override the spec's retry budget: quarantine a run after "
+        "K failed attempts (default: from spec, normally 3)",
+    )
+    p_crun.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the spec's per-run wall-clock timeout (0 "
+        "disables; default: from spec)",
+    )
+    p_crun.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="stream campaign-level events (retries, quarantines, pool "
+        "rebuilds, corruption) to a JSONL log",
+    )
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser(
@@ -821,6 +924,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_common(p_cstat)
     p_cstat.set_defaults(func=cmd_campaign_status)
+
+    p_cfsck = camp_sub.add_parser(
+        "fsck",
+        help="verify result-store integrity (checksums, parseability)",
+    )
+    p_cfsck.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="result store directory to scan",
+    )
+    p_cfsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="evict corrupt/truncated entries and stray tmp files so "
+        "the next `campaign run` recomputes them",
+    )
+    p_cfsck.set_defaults(func=cmd_campaign_fsck)
 
     p_crep = camp_sub.add_parser(
         "report", help="aggregate the store into CSV/JSON artifacts"

@@ -19,7 +19,20 @@ kind               meaning
 ``admission``      an admission-control decision (request or resume)
 ``arbitration``    an arbitration round that denied requests at the
                    clock break (emitted by the MAC protocol itself)
+``run_retry``      a campaign run attempt failed and was rescheduled
+                   with (deterministically jittered) backoff
+``run_quarantine`` a campaign run exhausted its attempt budget and was
+                   recorded as a structured failure in the store
+``pool_rebuild``   the campaign supervisor replaced a broken or hung
+                   worker pool and resubmitted the in-flight runs
+``store_corrupt``  a cached result failed checksum verification on
+                   resume and was scheduled for re-execution
 =================  ====================================================
+
+The last four are *host-side campaign execution* events emitted by the
+supervising executor (:mod:`repro.campaign.executor`), not by the
+simulator: they never appear in a run's own event log, only in the
+campaign-level log (``repro campaign run --events``).
 
 Sinks implement :class:`EventSink`; :class:`JsonlEventLog` streams every
 event to disk as one JSON object per line (so a million-slot run costs
@@ -264,6 +277,60 @@ class ArbitrationDenied(_Event):
         return (
             f'{{"kind":"arbitration","slot":{self.slot},"nodes":[{nodes}]}}'
         )
+
+
+@dataclass(frozen=True, slots=True)
+class RunRetryScheduled(_Event):
+    """A campaign run attempt failed; the run was requeued with backoff.
+
+    ``attempt`` is the 1-based attempt that just failed; ``delay_s`` the
+    deterministically-jittered backoff before the next one.
+    """
+
+    run_key: str
+    attempt: int
+    delay_s: float
+    error: str
+
+    kind = "run_retry"
+
+
+@dataclass(frozen=True, slots=True)
+class RunQuarantined(_Event):
+    """A campaign run exhausted its attempt budget and was quarantined
+    (a structured failure document now sits in the store's ``failed/``
+    directory under ``run_key``)."""
+
+    run_key: str
+    attempts: int
+    error: str
+
+    kind = "run_quarantine"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerPoolRebuilt(_Event):
+    """The campaign supervisor replaced its worker pool -- after a
+    worker death broke it (``reason="broken"``) or a run overran its
+    wall-clock budget and its worker had to be killed
+    (``reason="timeout"``) -- and resubmitted ``resubmitted`` in-flight
+    runs."""
+
+    resubmitted: int
+    reason: str
+
+    kind = "pool_rebuild"
+
+
+@dataclass(frozen=True, slots=True)
+class StoreCorruptionDetected(_Event):
+    """A cached run document failed verification during the resume scan
+    and was treated as uncached (the re-run atomically replaces it)."""
+
+    path: str
+    run_key: str
+
+    kind = "store_corrupt"
 
 
 # ----------------------------------------------------------------------

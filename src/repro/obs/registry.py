@@ -16,6 +16,21 @@ from __future__ import annotations
 import math
 from collections import Counter
 
+#: Host-side campaign-execution counters and the event kind each one
+#: mirrors (see :mod:`repro.obs.events`).  Every counter name embeds its
+#: event kind as a ``:``-separated segment, which is exactly what the
+#: ``event-metric-parity`` lint rule requires: each of these totals can
+#: be reconstructed by counting the matching events in a campaign-level
+#: log, so the two views never drift.  The supervising executor
+#: (:mod:`repro.campaign.executor`) increments them into the
+#: :class:`MetricRegistry` it returns on its ``ExecutionSummary``.
+CAMPAIGN_COUNTERS: dict[str, str] = {
+    "campaign:run_retry": "run_retry",
+    "campaign:run_quarantine": "run_quarantine",
+    "campaign:pool_rebuild": "pool_rebuild",
+    "campaign:store_corrupt": "store_corrupt",
+}
+
 
 class Histogram:
     """Streaming summary of one scalar series.

@@ -45,6 +45,15 @@ class TestExecution:
         assert summary.total == summary.executed == c.total_runs
         assert summary.skipped == 0 and summary.complete
 
+    def test_clean_run_reports_no_faults(self, tmp_path):
+        summary = run_campaign(_campaign(), ResultStore(tmp_path))
+        assert summary.failed_attempts == 0
+        assert summary.quarantined == 0
+        assert summary.corrupt_replaced == 0
+        assert summary.pool_rebuilds == 0
+        assert not summary.interrupted
+        assert not summary.registry.counters
+
     def test_second_run_serves_everything_from_cache(self, tmp_path):
         c = _campaign()
         store = ResultStore(tmp_path)

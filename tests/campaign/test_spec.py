@@ -132,3 +132,50 @@ class TestGridExpansion:
         assert entropies[0] == (5, 0, 0)
         assert entropies[1] == (5, 0, 1)
         assert entropies[-1] == (5, 3, 1)
+
+
+class TestRetryPolicy:
+    def test_defaults_and_round_trip(self):
+        from repro.campaign import RetryPolicy
+
+        c = small_campaign()
+        assert c.retry == RetryPolicy()
+        again = Campaign.from_dict(c.to_dict())
+        assert again == c
+
+        tuned = small_campaign(
+            retry=RetryPolicy(max_attempts=5, backoff_base_s=0.1,
+                              backoff_max_s=2.0, jitter=0.25,
+                              run_timeout_s=60.0)
+        )
+        assert Campaign.from_dict(tuned.to_dict()).retry == tuned.retry
+
+    def test_absent_retry_key_defaults(self):
+        from repro.campaign import RetryPolicy
+
+        raw = small_campaign().to_dict()
+        del raw["retry"]
+        assert Campaign.from_dict(raw).retry == RetryPolicy()
+
+    def test_validation(self):
+        from repro.campaign import RetryPolicy
+
+        with pytest.raises(ValueError, match="at least one attempt"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            RetryPolicy(backoff_base_s=5.0, backoff_max_s=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="run_timeout_s"):
+            RetryPolicy(run_timeout_s=0.0)
+
+    def test_retry_does_not_change_run_keys(self):
+        from repro.campaign import RetryPolicy, run_key
+
+        base = list(expand_runs(small_campaign()))
+        tuned = list(
+            expand_runs(small_campaign(retry=RetryPolicy(max_attempts=9)))
+        )
+        assert [run_key(s) for s in base] == [run_key(s) for s in tuned]

@@ -85,3 +85,125 @@ class TestResultStore:
     def test_missing_snapshot_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="no campaign snapshot"):
             ResultStore(tmp_path).load_campaign()
+
+
+class TestIntegrity:
+    """Checksummed envelopes, store-level errors, and fsck."""
+
+    def _stored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("abc", {"row": {"x": 1, "y": 2.5}})
+        return store, store.path_for("abc")
+
+    def test_documents_carry_checksum_envelope(self, tmp_path):
+        import json
+
+        _store, path = self._stored(tmp_path)
+        raw = json.loads(path.read_text())
+        assert set(raw) == {"payload", "sha256"}
+        assert len(raw["sha256"]) == 64
+
+    def test_load_rejects_tampered_payload(self, tmp_path):
+        from repro.campaign import StoreError, StoreIntegrityError
+
+        store, path = self._stored(tmp_path)
+        path.write_text(path.read_text().replace('"x": 1', '"x": 7'))
+        with pytest.raises(StoreIntegrityError, match="checksum mismatch"):
+            store.load("abc")
+        # The error is a StoreError, names the file, and points at fsck.
+        try:
+            store.load("abc")
+        except StoreError as exc:
+            assert exc.path == path
+            assert "repro campaign fsck" in str(exc)
+
+    def test_load_rejects_truncated_document(self, tmp_path):
+        from repro.campaign import StoreIntegrityError
+
+        store, path = self._stored(tmp_path)
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(StoreIntegrityError, match="invalid JSON"):
+            store.load("abc")
+
+    def test_is_valid_never_raises(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        assert store.is_valid("abc")
+        assert not store.is_valid("missing")
+        path.write_bytes(b"\x00\xff")
+        assert not store.is_valid("abc")
+
+    def test_legacy_unchecksummed_document_accepted(self, tmp_path):
+        import json
+
+        store = ResultStore(tmp_path)
+        store.path_for("old").write_text(json.dumps({"row": {"x": 1}}))
+        assert store.load("old") == {"row": {"x": 1}}
+        assert store.is_valid("old")
+        assert store.fsck().legacy == 1
+
+    def test_corrupt_snapshot_raises_store_error_not_json_error(
+        self, tmp_path
+    ):
+        from repro.campaign import StoreIntegrityError
+
+        store = ResultStore(tmp_path)
+        store.save_campaign(_campaign())
+        store.spec_path.write_text('{"name": "t", truncated')
+        with pytest.raises(StoreIntegrityError, match="invalid JSON"):
+            store.load_campaign()
+
+    def test_fsck_detects_and_repairs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(_campaign())
+        store.save("a", {"row": {"x": 1}})
+        store.save("b", {"row": {"x": 2}})
+        assert store.fsck().clean
+
+        path = store.path_for("a")
+        path.write_bytes(path.read_bytes()[:30])
+        report = store.fsck()
+        assert not report.clean
+        assert report.scanned == 3 and report.ok == 2
+        assert [p for p, _ in report.corrupt] == [str(path)]
+
+        repaired = store.fsck(repair=True)
+        assert repaired.clean
+        assert repaired.repaired == (str(path),)
+        assert "a" not in store and "b" in store
+        assert store.fsck().clean
+
+    def test_fsck_never_evicts_the_spec_snapshot(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_campaign(_campaign())
+        store.spec_path.write_text("not json")
+        report = store.fsck(repair=True)
+        assert not report.clean
+        assert store.spec_path.exists()
+
+    def test_fsck_sweeps_stray_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("a", {"row": {}})
+        stray = store.runs_dir / "half.json.tmp"
+        stray.write_text('{"payload":')
+        report = store.fsck(repair=True)
+        assert report.stray_tmp == (str(stray),)
+        assert not stray.exists()
+
+
+class TestQuarantineRecords:
+    def test_failure_round_trip_and_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.failure_keys() == []
+        store.save_failure("k", {"run_key": "k", "attempts": []})
+        assert store.failure_keys() == ["k"]
+        assert store.load_failure("k")["run_key"] == "k"
+        store.clear_failure("k")
+        store.clear_failure("k")  # idempotent
+        assert store.failure_keys() == []
+
+    def test_successful_save_clears_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save_failure("k", {"run_key": "k", "attempts": []})
+        store.save("k", {"row": {"x": 1}})
+        assert store.failure_keys() == []
+        assert "k" in store
