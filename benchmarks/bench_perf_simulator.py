@@ -245,6 +245,56 @@ def test_perf_campaign_executor_overhead_pair(
         )
 
 
+def test_perf_loaded_ring_n8_vector(benchmark, perf_record):
+    """The tentpole number: the vector engine on the loaded n8 ring.
+
+    Same scenario as ``loaded_ring_n8``; the recorded rate is what the
+    ``--engine vector`` core does on it (the compiled micro-kernel when
+    a C compiler is present, the numpy SoA kernel otherwise).  Runs more
+    slots per round than the oracle benches so per-round kernel entry
+    (ingest + exit fold) amortises the way real runs amortise it.
+    ``check_perf_regression.py`` gates the within-run speedup vs the
+    oracle (``--vector-min-speedup``) as well as the run-over-run rate.
+    """
+    config = _loaded_config(8, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n8_vector",
+        lambda: build_simulation(config, RunOptions(engine="vector")),
+        slots=25 * SLOTS,
+    )
+    assert report.packets_sent > 0
+
+
+def test_perf_loaded_ring_n32_vector(benchmark, perf_record):
+    """Node-count scaling check: n32 must scale sublinearly vs n8."""
+    config = _loaded_config(32, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "loaded_ring_n32_vector",
+        lambda: build_simulation(config, RunOptions(engine="vector")),
+        slots=10 * SLOTS,
+    )
+    assert report.packets_sent > 0
+
+
+def test_perf_vector_cold_start(benchmark, perf_record):
+    """One short cold ``run()`` on the vector engine: dominated by the
+    fixed kernel-entry cost (eligibility checks, state ingest, exit
+    fold) rather than per-slot throughput.  Guards the overhead short
+    campaign runs pay for every kernel entry."""
+    config = _loaded_config(8, 0.8)
+    report = _measure(
+        benchmark,
+        perf_record,
+        "vector_cold_start",
+        lambda: build_simulation(config, RunOptions(engine="vector")),
+    )
+    assert report.packets_sent > 0
+
+
 def test_perf_loaded_ring_n8_hot_cache(benchmark, perf_record):
     """Steady state: compose/route/gap caches warmed by a full run."""
     config = _loaded_config(8, 0.8)

@@ -3,32 +3,40 @@
 Usage::
 
     python benchmarks/check_events_overhead.py BENCH_perf.json \
-        [--tolerance 0.10] [--baseline sparse_ring_fast_forward] \
-        [--events sparse_ring_fast_forward_events]
+        [--tolerance 0.10] [--baseline NAME --events NAME]
 
-Compares the slots/sec of the events-streaming scenario against its
+Compares the slots/sec of each events-streaming scenario against its
 observability-off twin *from the same benchmark run*, so machine speed
 cancels out and the ratio isolates the cost of event emission.  Exit
-codes: ``0`` = overhead within tolerance (or either scenario missing --
-soft-fail so partial bench runs do not break), ``1`` = events streaming
-slowed the simulator by more than the tolerance, ``2`` = bad invocation.
+codes: ``0`` = every present pair within budget (missing pairs soft-skip
+so partial bench runs do not break), ``1`` = a pair exceeded its budget,
+``2`` = bad invocation.
 
-The default pair is the sparse fast-forwarding ring: it streams slot
-and fast-forward-span events yet costs only a few percent, and it
-guards the core invariant that streaming sinks never disable idle
-fast-forward -- a regression there slows the scenario ~40x and trips
-this gate deterministically.  Both scenarios are timed interleaved
-within a single benchmark test, so load drift on a shared runner hits
-both sides equally.  The *worst-case* on-cost (a fully
-loaded ring, ~1.5 events/slot) is recorded as ``loaded_ring_n8_events``
-and bounded run-over-run by ``check_perf_regression.py``'s 30% gate
-instead, because its honest overhead (~20% of a pure-Python slot loop)
-sits above any tight within-run gate.
+Each pair carries its **own** budget, because the honest cost of event
+streaming depends on what the scenario spends its slots on:
+
+* ``sparse_ring_fast_forward`` pair -- the ring idles and fast-forwards,
+  so the only question is whether streaming sinks disable idle
+  fast-forward (a regression there is a ~40x slowdown, not a few
+  percent).  Budget: the ``--tolerance`` flag, default 10%.
+* ``loaded_ring_n8`` pair -- every slot does real protocol work and
+  emits ~1.5 events, so event construction is a genuine fraction of the
+  slot loop.  Measured honestly at ~18% on the committed baseline;
+  budgeted at 25% so runner noise does not flap the gate while a real
+  regression (event emission suddenly dominating) still trips it.
+
+The table below is the single source of truth; the report prints each
+pair's measured overhead, its budget, and the remaining margin.
+
+Legacy single-pair mode: passing ``--baseline``/``--events`` explicitly
+checks exactly that pair against ``--tolerance``, matching the original
+interface (the CI invocation ``--tolerance 0.10`` without pair flags
+gets the full table sweep).
 
 This is deliberately a separate check from ``check_perf_regression.py``:
 that one compares *runs over time* (current vs committed baseline, 30%
 noise tolerance); this one compares *scenarios within a run*, where the
-shared-runner noise mostly cancels and a tight 10% gate is meaningful.
+shared-runner noise mostly cancels and tight budgets are meaningful.
 """
 
 from __future__ import annotations
@@ -37,6 +45,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+#: Per-pair overhead budgets: (baseline scenario, events scenario,
+#: budget).  A ``None`` budget means "use ``--tolerance``" (the tight
+#: default gate for scenarios whose event stream should be ~free).
+CASES: tuple[tuple[str, str, float | None], ...] = (
+    ("sparse_ring_fast_forward", "sparse_ring_fast_forward_events", None),
+    ("loaded_ring_n8", "loaded_ring_n8_events", 0.25),
+)
 
 
 def overhead(results: dict, baseline: str, events: str) -> float | None:
@@ -62,35 +78,80 @@ def overhead(results: dict, baseline: str, events: str) -> float | None:
     return 1.0 - with_events / base
 
 
+def check_pair(
+    results: dict, baseline: str, events: str, budget: float
+) -> bool | None:
+    """Gate one pair; print its verdict.  None = pair absent (skipped)."""
+    slowdown = overhead(results, baseline, events)
+    if slowdown is None:
+        print(
+            f"  {baseline} -> {events}: missing from results; skipping",
+            file=sys.stderr,
+        )
+        return None
+    margin = budget - slowdown
+    verdict = "ok" if slowdown <= budget else "FAIL"
+    print(
+        f"  {baseline} -> {events}: {slowdown:+.1%} overhead "
+        f"(budget {budget:.0%}, margin {margin:+.1%}) {verdict}"
+    )
+    return slowdown <= budget
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path)
-    parser.add_argument("--tolerance", type=float, default=0.10)
-    parser.add_argument("--baseline", default="sparse_ring_fast_forward")
     parser.add_argument(
-        "--events", default="sparse_ring_fast_forward_events"
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="budget for pairs without a table entry (default 0.10)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="legacy single-pair mode: baseline scenario name",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        help="legacy single-pair mode: events scenario name",
     )
     args = parser.parse_args(argv)
 
+    if (args.baseline is None) != (args.events is None):
+        print(
+            "--baseline and --events must be given together",
+            file=sys.stderr,
+        )
+        return 2
     if not args.results.exists():
         print(f"no results file at {args.results}; skipping", file=sys.stderr)
         return 0
     results = json.loads(args.results.read_text())
-    slowdown = overhead(results, args.baseline, args.events)
-    if slowdown is None:
-        print(
-            f"need both {args.baseline!r} and {args.events!r} in "
-            f"{args.results}; skipping",
-            file=sys.stderr,
-        )
+
+    print("--events overhead budgets:")
+    if args.baseline is not None:
+        verdicts = [
+            check_pair(results, args.baseline, args.events, args.tolerance)
+        ]
+    else:
+        verdicts = [
+            check_pair(
+                results,
+                baseline,
+                events,
+                args.tolerance if budget is None else budget,
+            )
+            for baseline, events, budget in CASES
+        ]
+    checked = [v for v in verdicts if v is not None]
+    if not checked:
+        print("no event pairs present; skipping", file=sys.stderr)
         return 0
-    print(
-        f"--events overhead: {slowdown:+.1%} "
-        f"({args.baseline} -> {args.events}, gate {args.tolerance:.0%})"
-    )
-    if slowdown > args.tolerance:
+    if not all(checked):
         print(
-            f"FAIL: event streaming costs more than {args.tolerance:.0%}",
+            "FAIL: event streaming exceeded its overhead budget",
             file=sys.stderr,
         )
         return 1

@@ -22,6 +22,12 @@ seeded runs (``campaign_raw_batch``), both recorded interleaved by
 so the campaign layer's bookkeeping on-cost must stay under
 ``--campaign-tolerance`` (default 10%).  The pair is soft-skipped when
 either scenario is absent (partial bench runs).
+
+A second within-run gate holds the vector engine to its reason for
+existing: ``loaded_ring_n8_vector`` must beat ``loaded_ring_n8`` (the
+pure-Python oracle on the identical scenario) by at least
+``--vector-min-speedup`` (default 10x).  Again a same-file ratio, so
+runner speed cancels; soft-skipped when either scenario is absent.
 """
 
 from __future__ import annotations
@@ -86,6 +92,22 @@ def campaign_overhead(
     return 1.0 - with_executor / base
 
 
+def vector_speedup(
+    current: dict,
+    oracle: str = "loaded_ring_n8",
+    vector: str = "loaded_ring_n8_vector",
+) -> float | None:
+    """Vector-engine speedup over the oracle on the identical scenario,
+    from one results file (``None`` when the pair was not recorded)."""
+    if oracle not in current or vector not in current:
+        return None
+    base = float(current[oracle]["slots_per_s"])
+    vec = float(current[vector]["slots_per_s"])
+    if base <= 0:
+        return None
+    return vec / base
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path)
@@ -102,6 +124,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.10,
         help="allowed campaign-executor overhead vs the raw worker batch, "
         "within the current run (default 0.10)",
+    )
+    parser.add_argument(
+        "--vector-min-speedup",
+        type=float,
+        default=10.0,
+        help="required loaded_ring_n8_vector speedup over the oracle's "
+        "loaded_ring_n8, within the current run (default 10x)",
     )
     args = parser.parse_args(argv)
 
@@ -136,6 +165,20 @@ def main(argv: list[str] | None = None) -> int:
             f"(gate {args.campaign_tolerance:.0%})"
         )
         if slowdown > args.campaign_tolerance:
+            print(f"  FAIL {line}")
+            regressions.append(line)
+        else:
+            print(f"  ok   {line}")
+
+    speedup = vector_speedup(current)
+    if speedup is None:
+        print("vector speedup pair not recorded; skipping that gate")
+    else:
+        line = (
+            f"vector engine speedup vs oracle (loaded_ring_n8): "
+            f"{speedup:.1f}x (gate >= {args.vector_min_speedup:.0f}x)"
+        )
+        if speedup < args.vector_min_speedup:
             print(f"  FAIL {line}")
             regressions.append(line)
         else:

@@ -103,7 +103,11 @@ def _now() -> float:
     return time.monotonic()  # repro-lint: disable=no-wallclock-in-sim
 
 
-def _build_run(spec: RunSpec, rng: np.random.Generator) -> Simulation:
+def _build_run(
+    spec: RunSpec,
+    rng: np.random.Generator,
+    engine: str | None = None,
+) -> Simulation:
     """Build the simulation for one run (module-level: crosses the
     process boundary as ``partial(_build_run, spec)`` would -- here we
     ship the spec itself and rebuild in the worker).
@@ -124,7 +128,9 @@ def _build_run(spec: RunSpec, rng: np.random.Generator) -> Simulation:
             period_range=(workload.period_min, workload.period_max),
         )
         config = dataclasses.replace(config, connections=tuple(connections))
-    return Simulation.from_scenario(config, RunOptions())
+    if engine is None:
+        engine = spec.engine
+    return Simulation.from_scenario(config, RunOptions(engine=engine))
 
 
 def execute_run(spec: RunSpec) -> dict[str, Any]:
@@ -140,10 +146,12 @@ def execute_run(spec: RunSpec) -> dict[str, Any]:
     t0 = time.perf_counter()  # repro-lint: disable=no-wallclock-in-sim
     seed = np.random.SeedSequence(entropy=spec.seed_entropy)
 
-    def build(rng: np.random.Generator) -> Simulation:
-        return _build_run(spec, rng)
+    def build(
+        rng: np.random.Generator, engine: str | None = None
+    ) -> Simulation:
+        return _build_run(spec, rng, engine)
 
-    report, _ = run_one(build, seed, spec.point.n_slots)
+    report, _ = run_one(build, seed, spec.point.n_slots, engine=spec.engine)
     elapsed = time.perf_counter() - t0  # repro-lint: disable=no-wallclock-in-sim
     row: dict[str, Any] = {
         "point": spec.point.index,

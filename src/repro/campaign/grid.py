@@ -48,11 +48,17 @@ class RunSpec:
     :class:`numpy.random.SeedSequence` built from it drives workload
     generation and the simulation itself, so the result is a pure
     function of ``(campaign spec, point index, replication)``.
+
+    ``engine`` is the campaign's engine selection, carried along so the
+    executor can build the right core; like the retry policy it is a
+    host-side knob outside the run's cache key (both engines are
+    bit-identical by contract).
     """
 
     point: GridPoint
     replication: int
     master_seed: int
+    engine: str | None = None
 
     @property
     def seed_entropy(self) -> tuple[int, int, int]:
@@ -114,4 +120,5 @@ def expand_runs(campaign: Campaign) -> Iterator[RunSpec]:
                 point=point,
                 replication=replication,
                 master_seed=campaign.master_seed,
+                engine=campaign.engine,
             )

@@ -28,7 +28,7 @@ from typing import Any
 
 from repro.core.connection import LogicalRealTimeConnection
 from repro.sim.fault_models import FaultConfig
-from repro.sim.runner import PROTOCOLS, ScenarioConfig
+from repro.sim.runner import ENGINES, PROTOCOLS, ScenarioConfig
 
 
 @dataclass(frozen=True)
@@ -155,6 +155,11 @@ class Campaign:
     retry:
         Host-side failure handling (attempts, backoff, timeout); never
         part of any run's cache key.
+    engine:
+        Simulation engine for every run (``"python"`` or ``"vector"``);
+        ``None`` follows the ``REPRO_ENGINE`` environment default.  Like
+        ``retry`` this is a host-side execution knob, never part of any
+        run's cache key: both engines are bit-identical by contract.
     """
 
     name: str
@@ -165,10 +170,15 @@ class Campaign:
     n_replications: int = 1
     master_seed: int = 0
     retry: RetryPolicy = RetryPolicy()
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
             raise ValueError(f"bad campaign name {self.name!r}")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
         if self.n_slots < 0:
             raise ValueError(f"slot count must be >= 0, got {self.n_slots}")
         if self.n_replications < 1:
@@ -243,6 +253,7 @@ class Campaign:
             ),
             "axes": [[name, list(values)] for name, values in self.axes],
             "retry": dataclasses.asdict(self.retry),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -255,7 +266,7 @@ class Campaign:
         :meth:`to_dict` emits.
         """
         known = {"name", "n_slots", "replications", "seed", "base",
-                 "workload", "axes", "retry"}
+                 "workload", "axes", "retry", "engine"}
         unknown = set(raw) - known
         if unknown:
             raise ValueError(f"unknown campaign keys: {sorted(unknown)}")
@@ -297,6 +308,7 @@ class Campaign:
             n_replications=int(raw.get("replications", 1)),
             master_seed=int(raw.get("seed", 0)),
             retry=retry,
+            engine=raw.get("engine"),
         )
 
     @classmethod

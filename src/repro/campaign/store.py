@@ -85,9 +85,11 @@ def run_key(spec: RunSpec) -> str:
 
     Deliberately excludes the campaign *name* (two campaigns asking for
     the same (config, workload, slots, seed) at the same code version
-    describe the same run and share its cached result) and the
-    :class:`~repro.campaign.spec.RetryPolicy` (host-side execution knobs
-    cannot change a deterministic run's result).
+    describe the same run and share its cached result), the
+    :class:`~repro.campaign.spec.RetryPolicy`, and the engine selection
+    (host-side execution knobs cannot change a deterministic run's
+    result -- the python and vector engines are bit-identical by
+    contract, so either may serve a cached entry).
     """
     payload = {
         "config": scenario_to_dict(spec.point.config),

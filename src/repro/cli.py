@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.priorities import TrafficClass
 from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import (
+    ENGINES,
     PROTOCOLS,
     RunOptions,
     ScenarioConfig,
@@ -68,6 +69,17 @@ def _add_network_args(parser: argparse.ArgumentParser) -> None:
         default=1024,
         metavar="BYTES",
         help="slot payload in bytes (default 1024)",
+    )
+
+
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="simulation engine: the pure-Python oracle or the "
+        "bit-identical vectorized core (default: $REPRO_ENGINE, else "
+        "python)",
     )
 
 
@@ -299,7 +311,7 @@ def _build_replication(
         connections=tuple(conns),
         fault_config=_fault_config(args),
     )
-    return build_simulation(config)
+    return build_simulation(config, RunOptions(engine=args.engine))
 
 
 #: Metrics reported by ``simulate --replications``.
@@ -409,7 +421,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     report = run_scenario(
         config,
         n_slots=args.slots,
-        options=RunOptions(profiler=profiler, trace=trace, observer=observer),
+        options=RunOptions(
+            profiler=profiler,
+            trace=trace,
+            observer=observer,
+            engine=args.engine,
+        ),
     )
     elapsed = _time.perf_counter() - t0
     if observer is not None:
@@ -471,7 +488,9 @@ def _compare_one(args: argparse.Namespace, protocol: str):
     workload from the shared seed.
     """
     config = _build_config(args, protocol)
-    report = run_scenario(config, n_slots=args.slots)
+    report = run_scenario(
+        config, n_slots=args.slots, options=RunOptions(engine=args.engine)
+    )
     rt = report.class_stats(TrafficClass.RT_CONNECTION)
     return (
         protocol,
@@ -560,6 +579,11 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         )
     if retry != campaign.retry:
         campaign = _dataclasses.replace(campaign, retry=retry)
+    engine = getattr(args, "engine", None)
+    if engine is not None and engine != campaign.engine:
+        # Like the retry overrides above: a host-side knob, so changing
+        # it never invalidates cached results.
+        campaign = _dataclasses.replace(campaign, engine=engine)
     observer = None
     event_log = None
     if args.events:
@@ -830,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 100000); a warning reports any dropped records",
     )
     _add_fault_args(p_sim)
+    _add_engine_arg(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_cmp = sub.add_parser(
@@ -838,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_network_args(p_cmp)
     _add_workload_args(p_cmp)
     _add_fault_args(p_cmp)
+    _add_engine_arg(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_ana = sub.add_parser(
@@ -917,6 +943,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream campaign-level events (retries, quarantines, pool "
         "rebuilds, corruption) to a JSONL log",
     )
+    _add_engine_arg(p_crun)
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_cstat = camp_sub.add_parser(

@@ -96,13 +96,13 @@ class LogicalRealTimeConnection:
                 f"connection {self.connection_id} does not release at slot {slot}"
             )
         return Message(
-            source=self.source,
-            destinations=self.destinations,
-            traffic_class=TrafficClass.RT_CONNECTION,
-            size_slots=self.size_slots,
-            created_slot=slot,
-            deadline_slot=slot + self.period_slots,
-            connection_id=self.connection_id,
+            self.source,
+            self.destinations,
+            TrafficClass.RT_CONNECTION,
+            self.size_slots,
+            slot,
+            slot + self.period_slots,
+            self.connection_id,
         )
 
     def next_release_at_or_after(self, slot: int) -> int:

@@ -34,7 +34,7 @@ class MessageStatus(enum.Enum):
     DROPPED = "dropped"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One user message.
 

@@ -14,20 +14,24 @@ messages."  :meth:`NodeQueues.head` implements exactly that rule.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 
 from repro.core.messages import Message, MessageStatus
 from repro.core.priorities import TrafficClass
 
-
-@dataclass(order=True, slots=True)
-class _QueueEntry:
-    sort_key: tuple[int, int]
-    message: Message = field(compare=False)
+#: Heap entries are plain ``(primary key, msg_id, message)`` tuples:
+#: deadline-ordered classes use the deadline as primary key, the FIFO
+#: class a running counter.  ``msg_id`` is globally unique, so tuple
+#: comparison never reaches the (incomparable) message itself and every
+#: comparison runs at C speed -- this sits on the simulator's hot path.
+_QueueEntry = tuple[int, int, Message]
 
 
 #: Statuses under which a message still occupies its queue slot.
 _LIVE = (MessageStatus.PENDING, MessageStatus.IN_TRANSIT)
+
+#: Statuses under which a message no longer occupies its queue slot.
+_DELIVERED = MessageStatus.DELIVERED
+_DROPPED = MessageStatus.DROPPED
 
 
 class NodeQueues:
@@ -83,12 +87,12 @@ class NodeQueues:
                 f"only pending messages may be enqueued, got {message.status.value}"
             )
         if message.deadline_slot is not None:
-            key = (message.deadline_slot, message.msg_id)
+            key = message.deadline_slot
         else:
-            key = (self._fifo_counter, message.msg_id)
+            key = self._fifo_counter
             self._fifo_counter += 1
         heapq.heappush(
-            self._heaps[message.traffic_class], _QueueEntry(key, message)
+            self._heaps[message.traffic_class], (key, message.msg_id, message)
         )
         self._head_valid = False
 
@@ -96,8 +100,9 @@ class NodeQueues:
         """Head of one class queue, discarding finished entries lazily."""
         heap = self._heaps[traffic_class]
         while heap:
-            msg = heap[0].message
-            if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
+            msg = heap[0][2]
+            st = msg.status
+            if st is _DELIVERED or st is _DROPPED:
                 heapq.heappop(heap)
                 continue
             return msg
@@ -112,15 +117,21 @@ class NodeQueues:
         """
         if self._head_valid:
             msg = self._cached_head
-            if msg is None or msg.status in _LIVE:
+            if msg is None:
+                return None
+            st = msg.status
+            if st is not _DELIVERED and st is not _DROPPED:
                 return msg
         msg = None
-        for traffic_class in (
-            TrafficClass.RT_CONNECTION,
-            TrafficClass.BEST_EFFORT,
-            TrafficClass.NON_REAL_TIME,
-        ):
-            msg = self._head_of(traffic_class)
+        for heap in (self._rt, self._be, self._nrt):
+            while heap:
+                candidate = heap[0][2]
+                st = candidate.status
+                if st is _DELIVERED or st is _DROPPED:
+                    heapq.heappop(heap)
+                    continue
+                msg = candidate
+                break
             if msg is not None:
                 break
         self._cached_head = msg
@@ -147,7 +158,7 @@ class NodeQueues:
                 continue
             keep: list[_QueueEntry] = []
             for entry in heap:
-                msg = entry.message
+                msg = entry[2]
                 if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
                     continue
                 if msg.is_late(current_slot):
@@ -176,7 +187,7 @@ class NodeQueues:
         purged: list[Message] = []
         for heap in self._heaps.values():
             for entry in heap:
-                msg = entry.message
+                msg = entry[2]
                 if msg.status in (MessageStatus.DELIVERED, MessageStatus.DROPPED):
                     continue
                 msg.drop()
@@ -195,7 +206,7 @@ class NodeQueues:
         count = 0
         for tc in classes:
             for entry in self._heaps[tc]:
-                if entry.message.status in (
+                if entry[2].status in (
                     MessageStatus.PENDING,
                     MessageStatus.IN_TRANSIT,
                 ):
@@ -207,11 +218,11 @@ class NodeQueues:
         out: list[Message] = []
         for heap in self._heaps.values():
             for entry in heap:
-                if entry.message.status in (
+                if entry[2].status in (
                     MessageStatus.PENDING,
                     MessageStatus.IN_TRANSIT,
                 ):
-                    out.append(entry.message)
+                    out.append(entry[2])
         return out
 
     @property

@@ -14,5 +14,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     priority_domain,
     rng,
     serialization,
+    vector_packed,
     wallclock,
 )

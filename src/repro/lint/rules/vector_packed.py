@@ -1,0 +1,130 @@
+"""Rule ``vector-packed-field``: the SoA packed-key layout, verified.
+
+The vector engine packs each node's request into one integer so slot
+arbitration is a single max-reduction::
+
+    | priority (Table 1, 5 bits used) | PACKED_NODE_MASK - node |
+
+The layout only sorts correctly if the two fields tile without overlap
+and the node field is wide enough for every supported ring; and the
+compiled micro-kernel (``_ckernel.c``) hard-codes the same shift and
+mask, so a Python-side constant edit that forgets the C mirror would
+silently break the compiled tier's grant order.  This rule statically
+folds the constants out of ``repro.sim.vector.soa`` -- without
+importing it -- and checks:
+
+* ``PACKED_NODE_MASK == 2**PACKED_NODE_BITS - 1`` (a dense low field);
+* ``PACKED_PRIO_SHIFT == PACKED_NODE_BITS`` (priority sits directly
+  above the node field: no gap, no overlap);
+* ``PACKED_MAX == (MAX_PRIORITY << PACKED_PRIO_SHIFT) |
+  PACKED_NODE_MASK`` with ``MAX_PRIORITY`` folded from the Table 1
+  constants (the packed domain tops out exactly where the priority
+  domain does);
+* the packed key fits an ``int64`` ndarray with headroom;
+* the sibling ``_ckernel.c`` literally contains the same shift
+  (``<< N``) and node mask (``0x...``), keeping the C mirror honest.
+
+Unresolvable constants are themselves findings, like ``priority-domain``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.lint.context import ModuleInfo, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, register
+from repro.lint.rules.priority_domain import _int_constants
+
+
+@register
+class VectorPackedField(LintRule):
+    """Verify the vector engine's packed-key constants statically."""
+
+    name = "vector-packed-field"
+    summary = "SoA packed priority|node key tiles exactly, C mirror agrees"
+    invariant = (
+        "packed key = (priority << PACKED_PRIO_SHIFT) | (mask - node); "
+        "arbitration's max-reduction and the compiled kernel both assume "
+        "the exact field tiling"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        soa = project.find("sim.vector.soa")
+        if soa is None:
+            return  # tree under lint does not contain the vector engine
+
+        env: dict[str, int] = {}
+        packets = project.find("phy.packets")
+        if packets is not None:
+            env = _int_constants(packets, env)
+        priorities = project.find("core.priorities")
+        if priorities is not None:
+            env = _int_constants(priorities, env)
+        env = _int_constants(soa, env)
+
+        def finding(message: str) -> Finding:
+            return Finding(
+                rule=self.name, path=soa.rel, line=1, col=0, message=message
+            )
+
+        bits = env.get("PACKED_NODE_BITS")
+        mask = env.get("PACKED_NODE_MASK")
+        shift = env.get("PACKED_PRIO_SHIFT")
+        packed_max = env.get("PACKED_MAX")
+        for label, value in (
+            ("PACKED_NODE_BITS", bits),
+            ("PACKED_NODE_MASK", mask),
+            ("PACKED_PRIO_SHIFT", shift),
+            ("PACKED_MAX", packed_max),
+        ):
+            if value is None:
+                yield finding(
+                    f"{label} could not be statically resolved to an integer"
+                )
+        if bits is None or mask is None or shift is None or packed_max is None:
+            return
+
+        if mask != (1 << bits) - 1:
+            yield finding(
+                f"PACKED_NODE_MASK is {mask:#x}, expected {(1 << bits) - 1:#x}"
+                f" for a dense {bits}-bit node field"
+            )
+        if shift != bits:
+            yield finding(
+                f"PACKED_PRIO_SHIFT is {shift} but the node field is "
+                f"{bits} bits: the priority field must sit directly above "
+                "the node field (no gap, no overlap)"
+            )
+        max_priority = env.get("MAX_PRIORITY")
+        if max_priority is not None:
+            expected = (max_priority << shift) | mask
+            if packed_max != expected:
+                yield finding(
+                    f"PACKED_MAX is {packed_max:#x}, expected {expected:#x} "
+                    f"((MAX_PRIORITY << {shift}) | {mask:#x})"
+                )
+            if (max_priority << shift) >= (1 << 62):
+                yield finding(
+                    "the packed key overflows the int64 ndarray domain"
+                )
+
+        # The compiled micro-kernel mirrors the layout as literals; keep
+        # the mirror honest without parsing C.
+        c_source = soa.path.with_name("_ckernel.c")
+        try:
+            text = c_source.read_text()
+        except OSError:
+            return  # no compiled tier shipped alongside this tree
+        if re.search(rf"<<\s*{shift}\b", text) is None:
+            yield finding(
+                f"_ckernel.c does not shift priorities by {shift} "
+                "(PACKED_PRIO_SHIFT changed without updating the C mirror?)"
+            )
+        if re.search(rf"0x{mask:X}\b", text) is None:
+            yield finding(
+                f"_ckernel.c does not use the node mask 0x{mask:X} "
+                "(PACKED_NODE_MASK changed without updating the C mirror?)"
+            )

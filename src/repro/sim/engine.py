@@ -590,6 +590,19 @@ class Simulation:
                 self.step()
             return self.report
         end = self.current_slot + n_slots
+        profiler = self.profiler
+        if profiler is not None:
+            # Attribute the fast-forward probe (including failed probes,
+            # which previously vanished into unaccounted run() time) to
+            # its own phase, symmetric with the vector engine's "kernel"
+            # phase.
+            while self.current_slot < end:
+                t_phase = profiler.clock()
+                forwarded = self._try_fast_forward(end)
+                profiler.lap("fast_forward", t_phase)
+                if not forwarded:
+                    self.step()
+            return self.report
         while self.current_slot < end:
             if not self._try_fast_forward(end):
                 self.step()

@@ -324,11 +324,14 @@ class MetricsCollector:
     # --- message lifecycle --------------------------------------------
 
     def _connection_stats(self, message: Message) -> ConnectionStats | None:
-        if message.connection_id is None:
+        cid = message.connection_id
+        if cid is None:
             return None
-        return self.report.per_connection.setdefault(
-            message.connection_id, ConnectionStats(message.connection_id)
-        )
+        per_connection = self.report.per_connection
+        stats = per_connection.get(cid)
+        if stats is None:
+            stats = per_connection[cid] = ConnectionStats(cid)
+        return stats
 
     def on_release(self, message: Message) -> None:
         """Account a newly released message."""
@@ -343,10 +346,12 @@ class MetricsCollector:
         """Account a completed delivery (latency, deadline verdict)."""
         stats = self.report.per_class[message.traffic_class]
         stats.delivered += 1
-        assert message.completed_slot is not None
-        latency = message.completed_slot - message.created_slot + 1
+        completed = message.completed_slot
+        assert completed is not None
+        latency = completed - message.created_slot + 1
         stats.latencies_slots.append(latency)
-        met = message.met_deadline()
+        deadline = message.deadline_slot
+        met = None if deadline is None else completed <= deadline
         if met is True:
             stats.deadline_met += 1
         elif met is False:

@@ -64,6 +64,7 @@ def run_one(
     seed: np.random.SeedSequence,
     n_slots: int,
     collect_registry: bool = False,
+    engine: str | None = None,
 ) -> tuple[SimulationReport, MetricRegistry | None]:
     """Worker body: one seeded run, returning its report (and, when
     requested, the observability registry its collector mirrored into).
@@ -72,10 +73,14 @@ def run_one(
     replication fan-out below and the campaign executor
     (:mod:`repro.campaign.executor`) call exactly this function, so a
     run's result is a pure function of ``(build, seed, n_slots)`` no
-    matter which machinery scheduled it.
+    matter which machinery scheduled it.  The engines being
+    bit-identical by contract, ``engine`` changes *how fast* that
+    function is evaluated, never its value: when given, it is forwarded
+    to ``build`` as an ``engine`` keyword (builders that support
+    selection route it into :class:`~repro.sim.runner.RunOptions`).
     """
     rng = np.random.default_rng(seed)
-    sim = build(rng)
+    sim = build(rng) if engine is None else build(rng, engine=engine)
     registry = None
     if collect_registry:
         registry = MetricRegistry()

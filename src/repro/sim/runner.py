@@ -20,6 +20,7 @@ still works through a shim that emits a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import dataclasses
+import os
 import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -144,6 +145,12 @@ class RunOptions:
     profiler: "PhaseProfiler | None" = None
     #: Event dispatcher attached to the whole stack.
     observer: EventDispatcher | None = None
+    #: Engine core: ``"python"`` (the reference oracle), ``"vector"``
+    #: (the struct-of-arrays kernel, bit-identical, with automatic
+    #: oracle fallback), or ``None`` to follow the ``REPRO_ENGINE``
+    #: environment variable (default ``"python"``).  Engine choice never
+    #: affects results, so it stays out of campaign run keys.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         # Accept any iterable of sources; store a tuple so the options
@@ -162,6 +169,25 @@ class RunOptions:
 _LEGACY_OPTION_KWARGS = tuple(
     f.name for f in dataclasses.fields(RunOptions)
 )
+
+#: Available engine cores (see :attr:`RunOptions.engine`).
+ENGINES: tuple[str, ...] = ("python", "vector")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Resolve an engine choice to a concrete core name.
+
+    ``None`` defers to the ``REPRO_ENGINE`` environment variable (used
+    by CI to matrix the whole test pyramid over the vector core) and
+    falls back to ``"python"``.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or "python"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 def _coerce_options(
@@ -248,7 +274,13 @@ def build_simulation(
             admission.observer = opts.observer
         for conn in config.connections:
             admission.request(conn)
-    return Simulation(
+    if resolve_engine(opts.engine) == "vector":
+        from repro.sim.vector import VectorSimulation
+
+        sim_cls: type[Simulation] = VectorSimulation
+    else:
+        sim_cls = Simulation
+    return sim_cls(
         timing=timing,
         protocol=protocol,
         sources=sources,

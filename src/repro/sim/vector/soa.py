@@ -1,0 +1,114 @@
+"""Struct-of-arrays state and packed-field layout for the vector kernel.
+
+The kernel keeps per-node state as parallel arrays indexed by node id --
+the struct-of-arrays twin of the per-node ``NodeQueues``/``CollectionRequest``
+object graph the oracle walks.  Arbitration then reduces over a single
+*packed* integer field per node that mirrors how the paper tiles the
+collection-phase packet (Figure 4): the 5-bit Table 1 priority level in
+the high bits and a tie-break derived from the node index in the low
+bits, so one ``argmax``/descending sort over the packed array yields
+exactly the oracle's ``(-priority, node)`` grant order.
+
+Packing layout (LSB on the right)::
+
+    | priority (5 bits used) | PACKED_NODE_MASK - node (16 bits) |
+
+``PACKED_NODE_MASK - node`` inverts the node index so that *larger*
+packed values win ties at *smaller* node ids, matching the arbitration
+sort key.  Priority 0 ("nothing to send", Table 1) never appears for a
+queue head, so ``0`` doubles as the "no request" sentinel in the packed
+array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phy.packets import MAX_PRIORITY
+
+#: Bits reserved for the node tie-break below the priority field.
+PACKED_NODE_BITS: int = 16
+
+#: Mask of the node tie-break field; also the largest supported node id.
+PACKED_NODE_MASK: int = (1 << PACKED_NODE_BITS) - 1
+
+#: Left shift applied to the 5-bit priority when packing.
+PACKED_PRIO_SHIFT: int = PACKED_NODE_BITS
+
+#: Largest packed value any request can take; must fit ``int64`` with
+#: headroom so numpy reductions never overflow (checked by ``repro lint``).
+PACKED_MAX: int = (MAX_PRIORITY << PACKED_PRIO_SHIFT) | PACKED_NODE_MASK
+
+#: Sentinel "this priority bucket never expires" value for ``prio_until``
+#: entries (NRT requests and already-late saturated heads).  Far above
+#: any reachable slot index but small enough that ``+ 1`` stays in int64.
+PRIO_UNTIL_FOREVER: int = 1 << 62
+
+#: Node count at and above which arbitration uses the numpy masked
+#: argsort reduction instead of the scalar ``sorted``; below this the
+#: interpreter beats the ufunc dispatch overhead.
+VECTOR_SWEEP_MIN_NODES: int = 64
+
+
+def pack_request(priority: int, node: int) -> int:
+    """Pack a (priority, node) request into one comparable integer."""
+    return (priority << PACKED_PRIO_SHIFT) | (PACKED_NODE_MASK - node)
+
+
+def packed_priority(packed: int) -> int:
+    """Priority field of a packed request."""
+    return packed >> PACKED_PRIO_SHIFT
+
+
+def packed_node(packed: int) -> int:
+    """Node id of a packed request."""
+    return PACKED_NODE_MASK - (packed & PACKED_NODE_MASK)
+
+
+@dataclass
+class SoAState:
+    """Per-node arrays the kernel reduces over.
+
+    ``packed`` is the arbitration field described in the module docstring
+    (0 = no request); ``prio_until`` is the last planning slot for which
+    the cached priority of the node's head is still exact under the
+    active laxity mapping; ``alive`` tracks node liveness (all-True
+    today: fault models force the oracle engine, but the array keeps the
+    layout ready for an in-kernel fault path).
+    """
+
+    n_nodes: int
+    packed: np.ndarray = field(init=False)
+    prio_until: np.ndarray = field(init=False)
+    alive: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.n_nodes <= PACKED_NODE_MASK):
+            raise ValueError(
+                f"vector kernel supports 2..{PACKED_NODE_MASK} nodes, "
+                f"got {self.n_nodes}"
+            )
+        self.packed = np.zeros(self.n_nodes, dtype=np.int64)
+        self.prio_until = np.zeros(self.n_nodes, dtype=np.int64)
+        self.alive = np.ones(self.n_nodes, dtype=bool)
+
+    def store(self, packed: list[int], prio_until: list[int]) -> None:
+        """Write the kernel's scalar mirrors back into the arrays."""
+        self.packed[:] = packed
+        self.prio_until[:] = prio_until
+
+
+def arbitration_order(packed: np.ndarray) -> list[int]:
+    """Grant-sweep visit order as a masked argsort reduction.
+
+    Returns requesting node ids ordered by descending packed value --
+    the oracle's ``sorted(entries, key=(-priority, node))`` -- using one
+    vectorised ``argsort`` over the non-zero (requesting) lanes.  Packed
+    values are unique (the node field is a bijection), so no stable-sort
+    qualifier is needed.
+    """
+    lanes = np.nonzero(packed)[0]
+    order = lanes[np.argsort(packed[lanes])][::-1]
+    return [int(node) for node in order]

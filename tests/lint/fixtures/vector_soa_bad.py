@@ -1,0 +1,10 @@
+# lint-fixture-path: repro/sim/vector/soa.py
+"""Packed-key layout constants (bad variant: gap between the fields,
+stale PACKED_MAX)."""
+
+from repro.phy.packets import MAX_PRIORITY
+
+PACKED_NODE_BITS = 16
+PACKED_NODE_MASK = (1 << PACKED_NODE_BITS) - 1
+PACKED_PRIO_SHIFT = 20
+PACKED_MAX = (MAX_PRIORITY << 16) | PACKED_NODE_MASK

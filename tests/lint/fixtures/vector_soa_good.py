@@ -1,0 +1,9 @@
+# lint-fixture-path: repro/sim/vector/soa.py
+"""Packed-key layout constants (good variant)."""
+
+from repro.phy.packets import MAX_PRIORITY
+
+PACKED_NODE_BITS = 16
+PACKED_NODE_MASK = (1 << PACKED_NODE_BITS) - 1
+PACKED_PRIO_SHIFT = PACKED_NODE_BITS
+PACKED_MAX = (MAX_PRIORITY << PACKED_PRIO_SHIFT) | PACKED_NODE_MASK

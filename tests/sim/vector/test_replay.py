@@ -1,0 +1,60 @@
+"""Replay: a vector-engine ``--events`` log reconstructs the run.
+
+``repro inspect`` (``summarise_log``) rebuilds totals purely from the
+JSONL event stream.  If the vector engine's stream is faithful, those
+reconstructed totals must equal the live report's -- and equal the
+totals replayed from an oracle log of the same scenario.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventDispatcher, JsonlEventLog
+from repro.obs.replay import summarise_log
+from repro.sim.runner import RunOptions, build_simulation
+
+from tests.sim.vector.test_differential import (
+    _loaded_config,
+    fresh_message_ids,
+)
+
+N_SLOTS = 1500
+
+
+def _run_with_log(config, engine, path):
+    observer = EventDispatcher()
+    observer.add_sink(JsonlEventLog(path))
+    with fresh_message_ids():
+        sim = build_simulation(
+            config, RunOptions(engine=engine, observer=observer)
+        )
+        report = sim.run(N_SLOTS)
+    observer.close()
+    return sim, report
+
+
+def test_vector_event_log_replays_to_live_totals(tmp_path):
+    config = _loaded_config(8, 0.7)
+    path = tmp_path / "vector.jsonl"
+    sim, report = _run_with_log(config, "vector", path)
+    assert sim.vector_fallback_reason is None
+
+    summary = summarise_log(path)
+    assert summary.released == report.total_released
+    assert summary.delivered == report.total_delivered
+    assert summary.missed == report.total_missed
+    assert summary.dropped == report.total_dropped
+    assert summary.packets_sent == report.packets_sent
+    assert (
+        summary.slots_executed + summary.slots_fast_forwarded
+        == report.slots_simulated
+    )
+
+
+def test_vector_and_oracle_logs_replay_identically(tmp_path):
+    config = _loaded_config(8, 0.7)
+    _, py_report = _run_with_log(config, "python", tmp_path / "py.jsonl")
+    _, vec_report = _run_with_log(config, "vector", tmp_path / "vec.jsonl")
+    assert vec_report == py_report
+    assert summarise_log(tmp_path / "vec.jsonl") == summarise_log(
+        tmp_path / "py.jsonl"
+    )
