@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.core.arbitration import Arbiter
 from repro.core.clocking import RoundRobinHandover
 from repro.core.mapping import LaxityMapping
+from repro.core.policy import SchedulingPolicy
 from repro.core.protocol import CcrEdfProtocol
 from repro.ring.topology import RingTopology
 
@@ -27,6 +28,7 @@ def make_upper_layer_edf(
     topology: RingTopology,
     mapping: LaxityMapping | None = None,
     spatial_reuse: bool = True,
+    policy: SchedulingPolicy | str | None = None,
 ) -> CcrEdfProtocol:
     """Global EDF arbitration over round-robin clocking.
 
@@ -40,4 +42,5 @@ def make_upper_layer_edf(
         mapping=mapping,
         arbiter=Arbiter(spatial_reuse=spatial_reuse),
         handover=RoundRobinHandover(),
+        policy=policy,
     )

@@ -126,6 +126,9 @@ def _build_run(
             n_connections=workload.n_connections,
             utilisation=workload.utilisation,
             period_range=(workload.period_min, workload.period_max),
+            profile=workload.profile,
+            tight_fraction=workload.tight_fraction,
+            tight_deadline_ratio=workload.tight_deadline_ratio,
         )
         config = dataclasses.replace(config, connections=tuple(connections))
     if engine is None:

@@ -27,8 +27,10 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.connection import LogicalRealTimeConnection
+from repro.core.policy import POLICIES
 from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import ENGINES, PROTOCOLS, ScenarioConfig
+from repro.traffic.sweeps import WORKLOAD_PROFILES
 
 
 @dataclass(frozen=True)
@@ -43,11 +45,22 @@ class WorkloadSpec:
 
     #: Number of periodic connections in the set.
     n_connections: int = 12
-    #: Target total utilisation the set is rescaled to.
+    #: Target total utilisation the set is drawn at.
     utilisation: float = 0.7
     #: Log-uniform period range in slots.
     period_min: int = 10
     period_max: int = 200
+    #: Generator family (see
+    #: :data:`repro.traffic.sweeps.WORKLOAD_PROFILES`): ``"uniform"``
+    #: (implicit deadlines), ``"industrial"`` (a ``tight_fraction``
+    #: share of constrained-deadline sensor connections), or
+    #: ``"ama-andam"`` (the fixed four-sensor case-study suite).
+    profile: str = "uniform"
+    #: Share of connections given tight deadlines (industrial profile).
+    tight_fraction: float = 0.5
+    #: Relative deadline as a fraction of the period for tight
+    #: connections (industrial profile).
+    tight_deadline_ratio: float = 0.4
 
     def __post_init__(self) -> None:
         if self.n_connections < 1:
@@ -61,6 +74,20 @@ class WorkloadSpec:
         if not 1 <= self.period_min <= self.period_max:
             raise ValueError(
                 f"bad period range [{self.period_min}, {self.period_max}]"
+            )
+        if self.profile not in WORKLOAD_PROFILES:
+            raise ValueError(
+                f"unknown workload profile {self.profile!r}; "
+                f"choose from {WORKLOAD_PROFILES}"
+            )
+        if not 0.0 <= self.tight_fraction <= 1.0:
+            raise ValueError(
+                f"tight_fraction must be in [0, 1], got {self.tight_fraction}"
+            )
+        if not 0.0 < self.tight_deadline_ratio <= 1.0:
+            raise ValueError(
+                "tight_deadline_ratio must be in (0, 1], "
+                f"got {self.tight_deadline_ratio}"
             )
 
 
@@ -215,6 +242,19 @@ class Campaign:
                     if v not in PROTOCOLS:
                         raise ValueError(
                             f"axis 'protocol' value {v!r} not in {PROTOCOLS}"
+                        )
+            if axis == "policy":
+                for v in values:
+                    if v not in POLICIES:
+                        raise ValueError(
+                            f"axis 'policy' value {v!r} not in {POLICIES}"
+                        )
+            if axis == "profile":
+                for v in values:
+                    if v not in WORKLOAD_PROFILES:
+                        raise ValueError(
+                            f"axis 'profile' value {v!r} not in "
+                            f"{WORKLOAD_PROFILES}"
                         )
 
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.policy import POLICIES
 from repro.core.priorities import TrafficClass
 from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import (
@@ -49,7 +50,11 @@ from repro.sim.runner import (
     run_scenario,
 )
 from repro.traffic.periodic import random_connection_set
-from repro.traffic.sweeps import scale_connections_to_utilisation
+from repro.traffic.sweeps import (
+    WORKLOAD_PROFILES,
+    random_workload,
+    scale_connections_to_utilisation,
+)
 
 
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -212,19 +217,41 @@ def _fault_config(args: argparse.Namespace) -> FaultConfig | None:
     return config if config.any_active() else None
 
 
-def _build_config(args: argparse.Namespace, protocol: str) -> ScenarioConfig:
-    rng = np.random.default_rng(args.seed)
-    conns = random_connection_set(
+def _draw_connections(args: argparse.Namespace, rng: np.random.Generator):
+    """Draw the CLI's periodic workload.
+
+    The default ``uniform`` profile keeps the historical draw-then-pin
+    path (the CLI promises the achieved load lands on the target as
+    exactly as integral sizes allow); the constrained-deadline profiles
+    dispatch to :func:`repro.traffic.sweeps.random_workload`.
+    """
+    profile = getattr(args, "workload_profile", "uniform")
+    if profile == "uniform":
+        conns = random_connection_set(
+            rng,
+            n_nodes=args.nodes,
+            n_connections=args.connections,
+            total_utilisation=args.utilisation,
+            period_range=(10, 200),
+        )
+        return scale_connections_to_utilisation(conns, args.utilisation)
+    return random_workload(
         rng,
         n_nodes=args.nodes,
         n_connections=args.connections,
-        total_utilisation=args.utilisation,
+        utilisation=args.utilisation,
         period_range=(10, 200),
+        profile=profile,
     )
-    conns = scale_connections_to_utilisation(conns, args.utilisation)
+
+
+def _build_config(args: argparse.Namespace, protocol: str) -> ScenarioConfig:
+    rng = np.random.default_rng(args.seed)
+    conns = _draw_connections(args, rng)
     return ScenarioConfig(
         n_nodes=args.nodes,
         protocol=protocol,
+        policy=getattr(args, "policy", "edf"),
         link_length_m=args.link_length,
         slot_payload_bytes=args.payload,
         spatial_reuse=not args.no_spatial_reuse,
@@ -293,17 +320,11 @@ def _build_replication(
     """
     from repro.sim.runner import build_simulation
 
-    conns = random_connection_set(
-        rng,
-        n_nodes=args.nodes,
-        n_connections=args.connections,
-        total_utilisation=args.utilisation,
-        period_range=(10, 200),
-    )
-    conns = scale_connections_to_utilisation(conns, args.utilisation)
+    conns = _draw_connections(args, rng)
     config = ScenarioConfig(
         n_nodes=args.nodes,
         protocol=args.protocol,
+        policy=getattr(args, "policy", "edf"),
         link_length_m=args.link_length,
         slot_payload_bytes=args.payload,
         spatial_reuse=not args.no_spatial_reuse,
@@ -808,6 +829,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=PROTOCOLS,
         default="ccr-edf",
         help="MAC protocol (default ccr-edf)",
+    )
+    p_sim.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="edf",
+        help="arbitration policy encoded into the priority field "
+        "(default edf; rm and fifo require a TCMA protocol)",
+    )
+    p_sim.add_argument(
+        "--workload-profile",
+        choices=WORKLOAD_PROFILES,
+        default="uniform",
+        help="workload generator family (default uniform; industrial "
+        "adds tight-deadline D<P sensor connections, ama-andam is the "
+        "fixed four-sensor case-study suite)",
     )
     p_sim.add_argument(
         "--replications",

@@ -5,7 +5,10 @@ periodic message stream from one source to a fixed destination set, with
 
 * period ``P_i`` (in slots),
 * message size ``e_i`` (in slots, the number of data-packets per message),
-* relative deadline equal to the period (Section 5 assumption).
+* relative deadline ``D_i`` (in slots) -- the paper assumes ``D_i = P_i``
+  (Section 5), which stays the default; an explicit ``deadline_slots``
+  declares a *constrained* deadline ``D_i < P_i``, the shape of the
+  industrial sensor workloads the scheduler-zoo study sweeps.
 
 Connections are admitted and removed at runtime by the admission
 controller; once admitted, the source releases one message per period and
@@ -41,6 +44,12 @@ class LogicalRealTimeConnection:
         connection to be schedulable at all.
     phase_slots:
         Release offset of the first message, in slots (default 0).
+    deadline_slots:
+        Explicit relative deadline ``D_i`` in slots; ``None`` (default)
+        means the paper's ``D_i = P_i`` assumption.  Must satisfy
+        ``e_i <= D_i <= P_i`` (a constrained deadline): shorter than the
+        message is intrinsically infeasible, longer than the period
+        would let messages of one connection overtake each other.
     """
 
     source: int
@@ -48,6 +57,7 @@ class LogicalRealTimeConnection:
     period_slots: int
     size_slots: int
     phase_slots: int = 0
+    deadline_slots: int | None = None
     connection_id: int = field(default_factory=lambda: next(_connection_ids))
 
     def __post_init__(self) -> None:
@@ -66,11 +76,44 @@ class LogicalRealTimeConnection:
             )
         if self.phase_slots < 0:
             raise ValueError(f"phase must be non-negative, got {self.phase_slots}")
+        if self.deadline_slots is not None:
+            if self.deadline_slots < self.size_slots:
+                raise ValueError(
+                    f"relative deadline {self.deadline_slots} is shorter than "
+                    f"the {self.size_slots}-slot message: intrinsically "
+                    "infeasible"
+                )
+            if self.deadline_slots > self.period_slots:
+                raise ValueError(
+                    f"relative deadline {self.deadline_slots} exceeds the "
+                    f"period {self.period_slots}: only constrained deadlines "
+                    "(D <= P) are supported"
+                )
 
     @property
     def utilisation(self) -> float:
         """``e_i / P_i``, the connection's slot utilisation (Equation 5)."""
         return self.size_slots / self.period_slots
+
+    @property
+    def relative_deadline_slots(self) -> int:
+        """``D_i``: the explicit deadline, or the period when implicit.
+
+        Note the utilisation-based admission test (Equation 5) is exact
+        only under ``D_i = P_i``; with a constrained deadline it is
+        optimistic, which is precisely the regime the head-to-head
+        policy study measures misses in.
+        """
+        return (
+            self.deadline_slots
+            if self.deadline_slots is not None
+            else self.period_slots
+        )
+
+    @property
+    def deadline_ratio(self) -> float:
+        """``D_i / P_i`` (1.0 for the paper's implicit deadlines)."""
+        return self.relative_deadline_slots / self.period_slots
 
     def releases_at(self, slot: int) -> bool:
         """Whether a new message of this connection is released at ``slot``."""
@@ -81,15 +124,16 @@ class LogicalRealTimeConnection:
     def release_message(self, slot: int) -> Message:
         """Instantiate the message released at ``slot``.
 
-        Relative deadline = period (Section 5).  A message released at
-        slot ``t`` is arbitrated during ``t`` and transmittable from
-        ``t + 1`` (the Figure 3 pipeline), so its deadline window is the
-        ``P_i`` slots ``(t, t + P_i]`` -- ``deadline_slot = t + P_i``.
-        This is exactly the paper's accounting: "the scheduling is not
-        affected by t_latency"; the fixed pipeline latency is charged to
-        the *user-level* delay (Equation 3), not to the EDF schedule.
-        With this window the utilisation test is exact: synchronous sets
-        at U = 1 are schedulable with zero slack.
+        A message released at slot ``t`` is arbitrated during ``t`` and
+        transmittable from ``t + 1`` (the Figure 3 pipeline), so its
+        deadline window is the ``D_i`` slots ``(t, t + D_i]`` --
+        ``deadline_slot = t + D_i``, where ``D_i`` defaults to the
+        period (Section 5).  This is exactly the paper's accounting:
+        "the scheduling is not affected by t_latency"; the fixed
+        pipeline latency is charged to the *user-level* delay
+        (Equation 3), not to the EDF schedule.  With implicit deadlines
+        the utilisation test is then exact: synchronous sets at U = 1
+        are schedulable with zero slack.
         """
         if not self.releases_at(slot):
             raise ValueError(
@@ -101,8 +145,9 @@ class LogicalRealTimeConnection:
             TrafficClass.RT_CONNECTION,
             self.size_slots,
             slot,
-            slot + self.period_slots,
+            slot + self.relative_deadline_slots,
             self.connection_id,
+            period_slots=self.period_slots,
         )
 
     def next_release_at_or_after(self, slot: int) -> int:

@@ -44,18 +44,32 @@ class LaxityMapping(ABC):
 
     def bucket_bounds(
         self, priority: int, traffic_class: TrafficClass
-    ) -> tuple[int, int | None]:
+    ) -> tuple[int | None, int | None]:
         """Inclusive laxity interval ``(lo, hi)`` mapped to ``priority``.
 
-        ``hi`` is ``None`` for the class's least-urgent level, whose bucket
-        is unbounded above.  Useful for analysis and plotting; computed by
-        scanning, so intended for small ranges only.
+        ``hi`` is ``None`` for the class's least-urgent level, whose
+        bucket is unbounded above.  ``lo`` is ``None`` for the class's
+        *most* urgent level: every late (negative-laxity) message
+        saturates there per the :meth:`priority_for` contract, so that
+        bucket is unbounded below -- it is *not* ``[0, ...]``, which
+        this method used to claim.  Useful for analysis and plotting;
+        computed by scanning, so intended for small ranges only.
         """
         lo_p, hi_p = class_priority_range(traffic_class)
         if not (lo_p <= priority <= hi_p):
             raise ValueError(
                 f"priority {priority} outside class range [{lo_p}, {hi_p}]"
             )
+        if priority == hi_p:
+            # The saturation bucket.  Scan only for its upper end; when
+            # the class owns a single level (e.g. non-real-time), the
+            # bucket is the whole laxity axis.
+            if lo_p == hi_p:
+                return (None, None)
+            hi_end = 0
+            while self.priority_for(hi_end + 1, traffic_class) == hi_p:
+                hi_end += 1
+            return (None, hi_end)
         lo_bound: int | None = None
         laxity = 0
         while True:

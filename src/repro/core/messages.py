@@ -76,6 +76,12 @@ class Message:
     #: Slot index in which the final packet was transmitted (set on
     #: delivery).
     completed_slot: int | None = None
+    #: Release period of the connection that released this message, in
+    #: slots; ``None`` for aperiodic traffic.  Static-priority policies
+    #: (rate monotonic) rank messages by it.  Declared last so existing
+    #: positional construction sites (incl. the compiled kernel's state
+    #: re-materialisation) are unaffected.
+    period_slots: int | None = None
 
     def __post_init__(self) -> None:
         if not self.destinations:
@@ -102,6 +108,10 @@ class Message:
         ):
             raise ValueError(
                 "exactly the RT_CONNECTION messages must carry a connection id"
+            )
+        if self.period_slots is not None and self.period_slots < 1:
+            raise ValueError(
+                f"release period must be >= 1 slot, got {self.period_slots}"
             )
 
     # ------------------------------------------------------------------

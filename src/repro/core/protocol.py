@@ -27,6 +27,7 @@ from repro.core.arbitration import Arbiter, ArbitrationResult, BreakPolicy
 from repro.core.clocking import ClockHandoverStrategy, EdfHandover
 from repro.core.mapping import LaxityMapping, LogarithmicMapping
 from repro.core.messages import Message, MessageStatus
+from repro.core.policy import EdfPolicy, SchedulingPolicy, resolve_policy
 from repro.core.priorities import PRIO_NON_REAL_TIME, TrafficClass
 from repro.core.queues import NodeQueues
 from repro.obs.events import ArbitrationDenied, EventDispatcher
@@ -107,6 +108,16 @@ class MacProtocol(ABC):
         self._route_cache: dict[tuple[int, frozenset[int]], tuple[int, int]] = {}
         # Hand-over gaps per (master, next master) pair on the fixed ring.
         self._gap_cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def queue_policy(self) -> "SchedulingPolicy | None":
+        """Policy ordering the per-node transmit queues, or ``None``.
+
+        ``None`` means the :class:`~repro.core.queues.NodeQueues` default
+        (earliest deadline first within deadline classes) -- the right
+        order for every protocol that has no pluggable policy.
+        """
+        return None
 
     @property
     def idle_plan_is_stationary(self) -> bool:
@@ -195,6 +206,12 @@ class CcrEdfProtocol(MacProtocol):
         CCR-EDF proper; passing :class:`RoundRobinHandover` yields the
         "global EDF arbitration on a simple-clocking ring" hybrid used as
         an ablation baseline.
+    policy:
+        The :class:`~repro.core.policy.SchedulingPolicy` (or its registry
+        name) deciding queue order and the 5-bit priority encoding.  The
+        default is EDF -- the paper's protocol; ``"rm"`` / ``"fifo"``
+        re-use the identical arbitration machinery with a rate / release-
+        order encoding (the scheduler-zoo head-to-head study).
     """
 
     def __init__(
@@ -204,6 +221,7 @@ class CcrEdfProtocol(MacProtocol):
         arbiter: Arbiter | None = None,
         handover: ClockHandoverStrategy | None = None,
         trace_packets: bool = False,
+        policy: "SchedulingPolicy | str | None" = None,
     ) -> None:
         super().__init__(topology)
         self.mapping = mapping if mapping is not None else LogarithmicMapping()
@@ -211,8 +229,14 @@ class CcrEdfProtocol(MacProtocol):
         self.handover = handover if handover is not None else EdfHandover()
         self.trace_packets = trace_packets
         self._edf_handover = isinstance(self.handover, EdfHandover)
-        # Laxity-to-priority results; the mapping is a pure function of
-        # (laxity, class), and the same laxities recur every slot.
+        self.policy = resolve_policy(policy)
+        # EDF keeps its dedicated fast path in compose_request (below):
+        # the default policy must stay bit-identical *and* cost-identical
+        # to the pre-policy protocol.
+        self._edf_policy = type(self.policy) is EdfPolicy
+        # Priority levels memoised per (policy cache token, class): for
+        # EDF the token is the laxity (a pure function of it recurs every
+        # slot), for RM the period, for FIFO the age.
         self._prio_cache: dict[tuple[int, TrafficClass], int] = {}
         # Last composed request per node: (head message, priority,
         # request).  Valid while the queue head and its priority bucket
@@ -226,6 +250,11 @@ class CcrEdfProtocol(MacProtocol):
     def idle_plan_is_stationary(self) -> bool:
         """With EDF hand-over an all-idle slot keeps the master (gap 0)."""
         return self._edf_handover
+
+    @property
+    def queue_policy(self) -> "SchedulingPolicy | None":
+        """The policy, when it orders queues differently from EDF."""
+        return None if self._edf_policy else self.policy
 
     # ------------------------------------------------------------------
 
@@ -249,13 +278,22 @@ class CcrEdfProtocol(MacProtocol):
         traffic_class = msg.traffic_class
         if traffic_class is TrafficClass.NON_REAL_TIME:
             priority = PRIO_NON_REAL_TIME
-        else:
+        elif self._edf_policy:
             laxity = msg.laxity(current_slot)
             assert laxity is not None  # deadline classes always have one
             prio_key = (laxity, traffic_class)
             priority = self._prio_cache.get(prio_key)
             if priority is None:
                 priority = self.mapping.priority_for(laxity, traffic_class)
+                self._prio_cache[prio_key] = priority
+        else:
+            token = self.policy.cache_token(msg, current_slot)
+            prio_key = (token, traffic_class)
+            priority = self._prio_cache.get(prio_key)
+            if priority is None:
+                priority = self.policy.request_priority(
+                    msg, current_slot, self.mapping, traffic_class
+                )
                 self._prio_cache[prio_key] = priority
         cached = self._compose_cache.get(queues.node)
         if cached is not None and cached[0] is msg and cached[1] == priority:

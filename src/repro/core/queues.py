@@ -3,6 +3,10 @@
 Each node keeps one queue per traffic class.  Within the two deadline-
 bearing classes, the queue is ordered earliest-deadline-first (ties broken
 by message id, i.e. arrival order); the non-real-time queue is FIFO.
+Under a non-default :class:`~repro.core.policy.SchedulingPolicy` the
+deadline-bearing classes order by the policy's key instead (period for
+rate monotonic, release slot for FIFO); non-real-time stays FIFO under
+every policy.
 
 Section 3 defines the selection rule a node applies when composing its
 collection-phase request: "Observed locally in a node, best effort
@@ -14,13 +18,17 @@ messages."  :meth:`NodeQueues.head` implements exactly that rule.
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING
 
 from repro.core.messages import Message, MessageStatus
 from repro.core.priorities import TrafficClass
 
+if TYPE_CHECKING:  # policy imports messages; keep the cycle typing-only
+    from repro.core.policy import SchedulingPolicy
+
 #: Heap entries are plain ``(primary key, msg_id, message)`` tuples:
-#: deadline-ordered classes use the deadline as primary key, the FIFO
-#: class a running counter.  ``msg_id`` is globally unique, so tuple
+#: deadline-ordered classes use the deadline (or the policy's queue key)
+#: as primary key, the FIFO class a running counter.  ``msg_id`` is globally unique, so tuple
 #: comparison never reaches the (incomparable) message itself and every
 #: comparison runs at C speed -- this sits on the simulator's hot path.
 _QueueEntry = tuple[int, int, Message]
@@ -50,6 +58,7 @@ class NodeQueues:
 
     __slots__ = (
         "node",
+        "_policy",
         "_rt",
         "_be",
         "_nrt",
@@ -59,8 +68,12 @@ class NodeQueues:
         "_head_valid",
     )
 
-    def __init__(self, node: int) -> None:
+    def __init__(self, node: int, policy: "SchedulingPolicy | None" = None) -> None:
         self.node = node
+        # A SchedulingPolicy whose queue_key orders the deadline-bearing
+        # classes; None (the default, and what EDF resolves to) keeps
+        # the plain earliest-deadline order with zero per-enqueue cost.
+        self._policy = policy
         self._rt: list[_QueueEntry] = []
         self._be: list[_QueueEntry] = []
         self._nrt: list[_QueueEntry] = []
@@ -87,7 +100,10 @@ class NodeQueues:
                 f"only pending messages may be enqueued, got {message.status.value}"
             )
         if message.deadline_slot is not None:
-            key = message.deadline_slot
+            if self._policy is None:
+                key = message.deadline_slot
+            else:
+                key = self._policy.queue_key(message)
         else:
             key = self._fifo_counter
             self._fifo_counter += 1

@@ -22,6 +22,17 @@ rule statically folds the constants out of ``repro.phy.packets`` and
 * the class ranges are well-ordered, stay inside the field, and
   together with levels 0 and 1 tile ``[0, MAX_PRIORITY]`` exactly.
 
+The scheduler zoo (:mod:`repro.core.policy`) encodes *static* policies
+into the same field: rate monotonic maps a period bucket downward from
+the class's top level, FIFO maps an age bucket upward from its bottom.
+Their bucket horizons (``RM_PERIOD_HORIZON_LOG2``,
+``FIFO_AGE_HORIZON_LOG2``) are the **only** clamp in those encoders, so
+a horizon exceeding the class band width would let one class's encoding
+walk into its neighbour's levels and silently invert class precedence.
+When ``core.policy`` is present in the tree, this rule additionally
+checks each horizon is statically resolvable and equals the width
+(``hi - lo``) of *both* deadline-bearing class bands.
+
 Unresolvable constants are themselves findings, so the check cannot be
 defeated by rewriting a constant into something opaque.
 """
@@ -206,3 +217,30 @@ class PriorityDomain(LintRule):
                 priorities,
                 f"RT_CONNECTION_RANGE is {rt}, expected (17, 31) (Table 1)",
             )
+
+        policy = project.find("core.policy")
+        if policy is None:
+            return  # tree under lint does not ship the scheduler zoo
+        policy_env = _int_constants(policy, env)
+        for horizon_name in ("RM_PERIOD_HORIZON_LOG2", "FIFO_AGE_HORIZON_LOG2"):
+            horizon = policy_env.get(horizon_name)
+            if horizon is None:
+                yield finding(
+                    policy,
+                    f"{horizon_name} could not be statically resolved to an "
+                    "integer",
+                )
+                continue
+            for label, (lo, hi) in (
+                ("BEST_EFFORT_RANGE", be),
+                ("RT_CONNECTION_RANGE", rt),
+            ):
+                if horizon != hi - lo:
+                    yield finding(
+                        policy,
+                        f"{horizon_name} is {horizon}, expected {hi - lo} "
+                        f"(the width of {label} ({lo}, {hi})): the horizon "
+                        "is the encoder's only clamp, so any other value "
+                        "lets static-policy priorities leave their class "
+                        "band",
+                    )

@@ -198,7 +198,13 @@ class Simulation:
                     "hand-overs would be misclassified as failures"
                 )
 
-        self.queues: dict[int, NodeQueues] = {i: NodeQueues(i) for i in range(n)}
+        # Local queue order follows the protocol's scheduling policy
+        # (None = the default earliest-deadline order; RM/FIFO policies
+        # re-key the deadline-bearing heaps).
+        queue_policy = protocol.queue_policy
+        self.queues: dict[int, NodeQueues] = {
+            i: NodeQueues(i, policy=queue_policy) for i in range(n)
+        }
         self._empty_queues: dict[int, NodeQueues] = {}
         self.metrics = MetricsCollector(n)
         self.current_slot = 0

@@ -32,6 +32,7 @@ from repro.core.admission import AdmissionController
 from repro.core.arbitration import Arbiter
 from repro.core.connection import LogicalRealTimeConnection
 from repro.core.mapping import LaxityMapping
+from repro.core.policy import POLICIES, SchedulingPolicy, resolve_policy
 from repro.core.protocol import CcrEdfProtocol, MacProtocol
 from repro.core.timing import NetworkTiming
 from repro.obs.events import EventDispatcher
@@ -61,6 +62,11 @@ class ScenarioConfig:
 
     n_nodes: int
     protocol: str = "ccr-edf"
+    #: Arbitration policy (see :data:`repro.core.policy.POLICIES`):
+    #: ``"edf"`` (the paper's protocol, default), ``"rm"`` or ``"fifo"``.
+    #: Part of the scenario -- policies change results -- so it enters
+    #: campaign axes, run fingerprints and manifests automatically.
+    policy: str = "edf"
     link_length_m: float = DEFAULT_LINK_LENGTH_M
     slot_payload_bytes: int = DEFAULT_SLOT_PAYLOAD_BYTES
     node_delay_s: float = DEFAULT_NODE_DELAY_S
@@ -79,6 +85,10 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
             )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {POLICIES}"
+            )
 
 
 def make_timing(config: ScenarioConfig) -> NetworkTiming:
@@ -96,17 +106,36 @@ def make_protocol(
     config: ScenarioConfig,
     topology: RingTopology,
     mapping: LaxityMapping | None = None,
+    policy: "SchedulingPolicy | str | None" = None,
 ) -> MacProtocol:
-    """Instantiate the scenario's MAC protocol."""
+    """Instantiate the scenario's MAC protocol.
+
+    ``policy`` overrides :attr:`ScenarioConfig.policy` (mirroring how
+    ``mapping`` overrides the default laxity map); policies plug into
+    the TCMA arbitration protocols only -- the fixed-priority baselines
+    (CC-FPR, TDMA) have no priority field to encode into, so a
+    non-default policy on them is an error rather than a silent no-op.
+    """
+    resolved = resolve_policy(policy if policy is not None else config.policy)
     if config.protocol == "ccr-edf":
         return CcrEdfProtocol(
             topology=topology,
             mapping=mapping,
             arbiter=Arbiter(spatial_reuse=config.spatial_reuse),
+            policy=resolved,
         )
     if config.protocol == "upper-edf":
         return make_upper_layer_edf(
-            topology, mapping=mapping, spatial_reuse=config.spatial_reuse
+            topology,
+            mapping=mapping,
+            spatial_reuse=config.spatial_reuse,
+            policy=resolved,
+        )
+    if resolved.name != "edf":
+        raise ValueError(
+            f"policy {resolved.name!r} requires a TCMA arbitration protocol "
+            f"(ccr-edf or upper-edf); {config.protocol!r} has no priority "
+            "field to encode it into"
         )
     if config.protocol == "ccfpr":
         return CcFprProtocol(topology, spatial_reuse=config.spatial_reuse)
@@ -130,6 +159,12 @@ class RunOptions:
     extra_sources: tuple[TrafficSource, ...] = ()
     #: Non-default laxity-to-priority mapping (mapping-ablation studies).
     mapping: LaxityMapping | None = None
+    #: Scheduling-policy override: a registry name (``"edf"``, ``"rm"``,
+    #: ``"fifo"``) or a :class:`~repro.core.policy.SchedulingPolicy`
+    #: instance; ``None`` follows :attr:`ScenarioConfig.policy`.  Unlike
+    #: :attr:`engine`, the policy *does* change results -- campaigns
+    #: carry it on the scenario so it lands in run fingerprints.
+    policy: "SchedulingPolicy | str | None" = None
     #: In-memory per-slot trace (disables the idle fast-forward).
     trace: SlotTrace | None = None
     #: Fault source overriding :attr:`ScenarioConfig.fault_config`.
@@ -257,7 +292,7 @@ def build_simulation(
     """
     opts = _coerce_options(options, legacy, "build_simulation")
     timing = make_timing(config)
-    protocol = make_protocol(config, timing.topology, opts.mapping)
+    protocol = make_protocol(config, timing.topology, opts.mapping, opts.policy)
     sources: list[TrafficSource] = [
         ConnectionSource(c) for c in config.connections
     ]

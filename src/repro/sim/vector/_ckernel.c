@@ -110,7 +110,7 @@ int64_t repro_run_ckernel(
     const int64_t *rel_slot, const int64_t *rel_conn,
     /* per-connection constants */
     int64_t n_conns, const int64_t *conn_node, const int64_t *conn_size,
-    const int64_t *conn_period, const int64_t *conn_cid,
+    const int64_t *conn_deadline, const int64_t *conn_cid,
     const uint64_t *conn_links, int64_t id0,
     /* per-connection-id first-touch state (dense cid index space) */
     int64_t n_cids, int64_t *touched,
@@ -204,7 +204,7 @@ int64_t repro_run_ckernel(
             int64_t c = rel_conn[rel_ptr];
             int64_t row = n_pre + rel_ptr;
             int64_t node = conn_node[c];
-            int64_t deadline = s + conn_period[c];
+            int64_t deadline = s + conn_deadline[c];
             m_node[row] = node;
             m_size[row] = conn_size[c];
             m_sent[row] = 0;

@@ -145,7 +145,7 @@ def _build_library() -> object | None:
         ctypes.c_int64,  # n_conns
         _I64,  # conn_node
         _I64,  # conn_size
-        _I64,  # conn_period
+        _I64,  # conn_deadline
         _I64,  # conn_cid
         _U64,  # conn_links
         ctypes.c_int64,  # id0
@@ -341,7 +341,7 @@ def try_run(sim: Simulation, n_slots: int) -> bool:
     conn_cid = [_dense(c.connection_id) for c in conns]
     conn_node = [c.source for c in conns]
     conn_size = [c.size_slots for c in conns]
-    conn_period = [c.period_slots for c in conns]
+    conn_deadline = [c.relative_deadline_slots for c in conns]
     conn_links = [route_masks(c.source, c.destinations)[0] for c in conns]
 
     n_pre = len(pre_objs)
@@ -405,7 +405,7 @@ def try_run(sim: Simulation, n_slots: int) -> bool:
     # Named locals keep every marshalled array alive across the call.
     conn_node_a = _arr(conn_node)
     conn_size_a = _arr(conn_size)
-    conn_period_a = _arr(conn_period)
+    conn_deadline_a = _arr(conn_deadline)
     conn_cid_a = _arr(conn_cid)
     conn_links_a = np.array(conn_links or [0], dtype=np.uint64)
     plan_tx_a = _arr(plan_tx_rows)
@@ -439,7 +439,7 @@ def try_run(sim: Simulation, n_slots: int) -> bool:
         len(conns),
         _p(conn_node_a),
         _p(conn_size_a),
-        _p(conn_period_a),
+        _p(conn_deadline_a),
         _p(conn_cid_a),
         _p(conn_links_a),
         id0,
@@ -595,6 +595,7 @@ def try_run(sim: Simulation, n_slots: int) -> bool:
                 ids[row],
                 sents[row],
                 _STATUS[st],
+                period_slots=conns[c].period_slots,
             )
             new_objs[row] = msg
             live_by_node[nodes[row]].append((deadlines[row], ids[row], msg))

@@ -14,6 +14,9 @@ ran.  Configurations that force the oracle today:
 * a protocol other than exactly :class:`CcrEdfProtocol`, or a custom
   arbiter / non-EDF hand-over subclass (the kernel inlines their exact
   semantics and cannot inline an override);
+* a scheduling policy other than EDF (the kernel's request-composition
+  path hard-codes the laxity mapping; alternative policies run on the
+  oracle and record the reason string ``"policy"``);
 * wire-level packet tracing (``trace_packets``) and slot traces
   (``observer.blocks_fast_forward``) -- both want the full per-slot
   object graph;
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 from repro.core.arbitration import Arbiter
 from repro.core.clocking import EdfHandover
+from repro.core.policy import EdfPolicy
 from repro.core.protocol import CcrEdfProtocol
 from repro.sim.engine import Simulation
 from repro.sim.metrics import SimulationReport
@@ -59,6 +63,8 @@ class VectorSimulation(Simulation):
             return f"protocol {type(protocol).__name__} is not CcrEdfProtocol"
         if not protocol._edf_handover or type(protocol.handover) is not EdfHandover:
             return "non-EDF clock hand-over"
+        if type(protocol.policy) is not EdfPolicy:
+            return "policy"
         if type(protocol.arbiter) is not Arbiter:
             return f"custom arbiter {type(protocol.arbiter).__name__}"
         if protocol.trace_packets:

@@ -316,6 +316,7 @@ def run_kernel(sim: Simulation, n_slots: int) -> None:
         c_dest = [c.destinations for c in conns]
         c_size = [c.size_slots for c in conns]
         c_period = [c.period_slots for c in conns]
+        c_reldl = [c.relative_deadline_slots for c in conns]
         c_cid = [c.connection_id for c in conns]
         c_queue = [queues[c.source] for c in conns]
 
@@ -522,7 +523,7 @@ def run_kernel(sim: Simulation, n_slots: int) -> None:
             # enqueue -> account chain, inlined and specialised for a
             # known-valid periodic RT-connection message.
             idx = sched_src[sched_ptr]
-            deadline = s + c_period[idx]
+            deadline = s + c_reldl[idx]
             node = c_node[idx]
             size = c_size[idx]
             # Construct the message directly (the dataclass constructor
@@ -537,6 +538,7 @@ def run_kernel(sim: Simulation, n_slots: int) -> None:
             msg.size_slots = size
             msg.created_slot = s
             msg.deadline_slot = deadline
+            msg.period_slots = c_period[idx]
             msg.connection_id = c_cid[idx]
             msg.msg_id = mid = next_mid()
             msg.sent_slots = 0

@@ -9,8 +9,11 @@
 * :mod:`repro.traffic.radar` -- a synthetic radar-signal-processing
   pipeline workload (the paper's motivating application, refs [1][2]);
 * :mod:`repro.traffic.multimedia` -- distributed-multimedia stream mix;
+* :mod:`repro.traffic.industrial` -- constrained-deadline (``D < P``)
+  industrial sensor workloads, including the fixed Ama-Andam suite;
 * :mod:`repro.traffic.sweeps` -- helpers to scale workloads to target
-  utilisations for load sweeps.
+  utilisations for load sweeps, plus the profile-dispatching
+  :func:`~repro.traffic.sweeps.random_workload`.
 """
 
 from repro.traffic.base import CompositeSource, TrafficSource
@@ -22,7 +25,15 @@ from repro.traffic.periodic import (
 from repro.traffic.poisson import BurstySource, PoissonSource
 from repro.traffic.radar import radar_pipeline_connections
 from repro.traffic.multimedia import multimedia_connections
-from repro.traffic.sweeps import scale_connections_to_utilisation
+from repro.traffic.industrial import (
+    ama_andam_sensor_suite,
+    industrial_workload,
+)
+from repro.traffic.sweeps import (
+    WORKLOAD_PROFILES,
+    random_workload,
+    scale_connections_to_utilisation,
+)
 
 __all__ = [
     "CompositeSource",
@@ -34,5 +45,9 @@ __all__ = [
     "PoissonSource",
     "radar_pipeline_connections",
     "multimedia_connections",
+    "ama_andam_sensor_suite",
+    "industrial_workload",
+    "WORKLOAD_PROFILES",
+    "random_workload",
     "scale_connections_to_utilisation",
 ]

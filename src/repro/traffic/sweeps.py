@@ -5,8 +5,10 @@ connection-set generators only hit a target utilisation approximately
 (message sizes are integral).  :func:`scale_connections_to_utilisation`
 rescales an existing set to a new total utilisation by stretching or
 shrinking periods, preserving the set's structure (sources, destinations,
-relative weights).  :func:`random_workload` is the one-call combination
-sweep engines use: draw a random set, then pin its total utilisation.
+relative weights).  :func:`random_workload` is the one-call entry point
+sweep engines use: draw a set from a named profile at a target
+utilisation (UUniFast targets the utilisation at draw time, so no
+second rescale pass is applied).
 """
 
 from __future__ import annotations
@@ -51,8 +53,14 @@ def scale_connections_to_utilisation(
                     f"max period {max_period_slots} cannot hold a "
                     f"{c.size_slots}-slot message"
                 )
-        # Rescale the phase into the new period to keep releases spread.
+        # Rescale the phase into the new period to keep releases spread;
+        # preserve the deadline *ratio* D/P for constrained-deadline sets.
         phase = c.phase_slots % period
+        deadline: int | None = None
+        if c.deadline_slots is not None:
+            deadline = max(
+                c.size_slots, min(period, round(period * c.deadline_ratio))
+            )
         out.append(
             LogicalRealTimeConnection(
                 source=c.source,
@@ -60,9 +68,14 @@ def scale_connections_to_utilisation(
                 period_slots=period,
                 size_slots=c.size_slots,
                 phase_slots=phase,
+                deadline_slots=deadline,
             )
         )
     return out
+
+
+#: Workload profiles :func:`random_workload` can draw from.
+WORKLOAD_PROFILES = ("uniform", "industrial", "ama-andam")
 
 
 def random_workload(
@@ -71,24 +84,64 @@ def random_workload(
     n_connections: int,
     utilisation: float,
     period_range: tuple[int, int] = (10, 200),
+    profile: str = "uniform",
+    tight_fraction: float = 0.5,
+    tight_deadline_ratio: float = 0.4,
 ) -> list[LogicalRealTimeConnection]:
-    """Draw a random connection set pinned to a target utilisation.
+    """Draw a random connection set targeting a total utilisation.
 
-    The standard workload of the sweep experiments: a UUniFast random
-    set (see :func:`repro.traffic.periodic.random_connection_set`)
-    rescaled so the achieved total utilisation lands on the target as
-    closely as integral message sizes allow.  Deterministic in ``rng``:
-    the campaign executor derives one generator per (grid point,
-    replication) seed, making every run's workload reproducible from
-    the campaign's master seed alone.
+    The standard workload of the sweep experiments.  Deterministic in
+    ``rng``: the campaign executor derives one generator per (grid
+    point, replication) seed, making every run's workload reproducible
+    from the campaign's master seed alone.
+
+    ``profile`` selects the generator family:
+
+    * ``"uniform"`` -- a UUniFast random set with implicit deadlines
+      (``D = P``), see :func:`repro.traffic.periodic.random_connection_set`;
+    * ``"industrial"`` -- the same base set with a ``tight_fraction``
+      share of constrained-deadline sensor connections
+      (``D = tight_deadline_ratio * P``), see
+      :func:`repro.traffic.industrial.industrial_workload`;
+    * ``"ama-andam"`` -- the fixed four-sensor suite of the wheelchair
+      case study scaled to the target utilisation, see
+      :func:`repro.traffic.industrial.ama_andam_sensor_suite`
+      (``n_connections`` is ignored; the suite always has four).
+
+    UUniFast already draws per-connection utilisation shares summing to
+    the target, so no post-hoc rescale is applied: the achieved total
+    deviates from the target only by the integral-size rounding of each
+    connection.  (An earlier revision rescaled the already-targeted set
+    a second time, compounding the rounding error -- the regression test
+    pins the single-pass error bound.)
     """
+    from repro.traffic.industrial import (
+        ama_andam_sensor_suite,
+        industrial_workload,
+    )
     from repro.traffic.periodic import random_connection_set
 
-    base = random_connection_set(
-        rng,
-        n_nodes=n_nodes,
-        n_connections=n_connections,
-        total_utilisation=utilisation,
-        period_range=period_range,
+    if profile == "uniform":
+        return random_connection_set(
+            rng,
+            n_nodes=n_nodes,
+            n_connections=n_connections,
+            total_utilisation=utilisation,
+            period_range=period_range,
+        )
+    if profile == "industrial":
+        return industrial_workload(
+            rng,
+            n_nodes=n_nodes,
+            n_connections=n_connections,
+            utilisation=utilisation,
+            period_range=period_range,
+            tight_fraction=tight_fraction,
+            tight_deadline_ratio=tight_deadline_ratio,
+        )
+    if profile == "ama-andam":
+        suite = ama_andam_sensor_suite(n_nodes=n_nodes)
+        return scale_connections_to_utilisation(suite, utilisation)
+    raise ValueError(
+        f"unknown workload profile {profile!r}; choose from {WORKLOAD_PROFILES}"
     )
-    return scale_connections_to_utilisation(base, utilisation)

@@ -179,3 +179,74 @@ class TestRetryPolicy:
             expand_runs(small_campaign(retry=RetryPolicy(max_attempts=9)))
         )
         assert [run_key(s) for s in base] == [run_key(s) for s in tuned]
+
+
+class TestPolicyAxis:
+    def test_policy_axis_accepted_and_round_trips(self):
+        c = small_campaign(axes={"policy": ("edf", "rm", "fifo")})
+        assert c.grid_size == 3
+        assert Campaign.from_dict(json.loads(json.dumps(c.to_dict()))) == c
+
+    def test_base_policy_round_trips(self):
+        c = small_campaign(base=ScenarioConfig(n_nodes=6, policy="rm"))
+        again = Campaign.from_dict(json.loads(json.dumps(c.to_dict())))
+        assert again.base.policy == "rm"
+
+    def test_bad_policy_value_rejected(self):
+        with pytest.raises(ValueError, match="not in"):
+            small_campaign(axes={"policy": ("lottery",)})
+
+    def test_profile_axis_validated(self):
+        c = small_campaign(axes={"profile": ("uniform", "industrial")})
+        assert c.grid_size == 2
+        with pytest.raises(ValueError, match="not in"):
+            small_campaign(axes={"profile": ("spiky",)})
+
+    def test_policy_enters_run_fingerprint(self):
+        # A cached EDF row must never be served for an RM run: the
+        # policy is part of the scenario, so it changes every run key.
+        from repro.campaign import run_key
+
+        edf = list(expand_runs(small_campaign(axes={})))
+        rm = list(
+            expand_runs(
+                small_campaign(
+                    axes={}, base=ScenarioConfig(n_nodes=6, policy="rm")
+                )
+            )
+        )
+        assert len(edf) == len(rm)
+        assert not {run_key(s) for s in edf} & {run_key(s) for s in rm}
+
+    def test_workload_profile_enters_run_fingerprint(self):
+        from repro.campaign import run_key
+
+        uniform = list(expand_runs(small_campaign(axes={})))
+        industrial = list(
+            expand_runs(
+                small_campaign(
+                    axes={},
+                    workload=WorkloadSpec(n_connections=4, profile="industrial"),
+                )
+            )
+        )
+        assert not {run_key(s) for s in uniform} & {
+            run_key(s) for s in industrial
+        }
+
+    def test_policy_axis_expands_into_scenarios(self):
+        c = small_campaign(axes={"policy": ("edf", "rm")})
+        points = expand_grid(c)
+        assert [p.config.policy for p in points] == ["edf", "rm"]
+
+    def test_committed_study_specs_load(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2] / "benchmarks" / "campaigns"
+        zoo = Campaign.from_json_file(root / "scheduler_zoo.json")
+        assert "policy" in zoo.axis_names
+        assert zoo.workload is not None and zoo.workload.profile == "ama-andam"
+        assert zoo.base.spatial_reuse is False
+        smoke = Campaign.from_json_file(root / "policy_smoke.json")
+        assert smoke.workload is not None
+        assert smoke.workload.profile == "industrial"

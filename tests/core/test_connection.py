@@ -7,13 +7,14 @@ from repro.core.connection import LogicalRealTimeConnection
 from repro.core.priorities import TrafficClass
 
 
-def make_conn(period=10, size=2, phase=0, source=0, dsts=(3,)):
+def make_conn(period=10, size=2, phase=0, source=0, dsts=(3,), deadline=None):
     return LogicalRealTimeConnection(
         source=source,
         destinations=frozenset(dsts),
         period_slots=period,
         size_slots=size,
         phase_slots=phase,
+        deadline_slots=deadline,
     )
 
 
@@ -36,6 +37,41 @@ class TestValidation:
 
     def test_connection_ids_unique(self):
         assert make_conn().connection_id != make_conn().connection_id
+
+    def test_unconstrained_deadline_rejected(self):
+        # Only constrained deadlines (D <= P) are supported.
+        with pytest.raises(ValueError, match="constrained"):
+            make_conn(period=10, deadline=11)
+
+    def test_deadline_smaller_than_message_rejected(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            make_conn(period=10, size=4, deadline=3)
+
+
+class TestConstrainedDeadlines:
+    def test_relative_deadline_defaults_to_period(self):
+        c = make_conn(period=10)
+        assert c.deadline_slots is None
+        assert c.relative_deadline_slots == 10
+        assert c.deadline_ratio == 1.0
+
+    def test_explicit_relative_deadline(self):
+        c = make_conn(period=10, size=2, deadline=4)
+        assert c.relative_deadline_slots == 4
+        assert c.deadline_ratio == pytest.approx(0.4)
+
+    def test_release_uses_relative_deadline(self):
+        c = make_conn(period=100, size=2, deadline=40, phase=0)
+        msg = c.release_message(200)
+        assert msg.deadline_slot == 240
+
+    def test_release_stamps_period(self):
+        msg = make_conn(period=100).release_message(0)
+        assert msg.period_slots == 100
+
+    def test_deadline_equal_to_size_allowed(self):
+        c = make_conn(period=10, size=3, deadline=3)
+        assert c.relative_deadline_slots == 3
 
 
 class TestUtilisation:

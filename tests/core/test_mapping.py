@@ -43,7 +43,9 @@ class TestLogarithmicMapping:
         m = LogarithmicMapping()
         tc = TrafficClass.RT_CONNECTION
         lo_b, hi_b = m.bucket_bounds(31, tc)
-        assert (lo_b, hi_b) == (0, 0)  # most urgent level: laxity 0 only
+        # Most urgent level: laxity 0, plus the open-ended late
+        # (negative-laxity) range it saturates.
+        assert (lo_b, hi_b) == (None, 0)
         lo_b2, hi_b2 = m.bucket_bounds(30, tc)
         assert hi_b2 - lo_b2 + 1 == 2
         lo_b3, hi_b3 = m.bucket_bounds(29, tc)
@@ -125,8 +127,12 @@ class TestBucketBounds:
         expected_next = 0
         for p in range(hi_p, lo_p, -1):
             lo_b, hi_b = m.bucket_bounds(p, tc)
-            assert lo_b == expected_next
-            assert hi_b is not None and hi_b >= lo_b
+            if p == hi_p:
+                # Saturation bucket: unbounded below (late messages).
+                assert lo_b is None
+            else:
+                assert lo_b == expected_next
+            assert hi_b is not None and hi_b >= expected_next
             expected_next = hi_b + 1
         lo_b, hi_b = m.bucket_bounds(lo_p, tc)
         assert lo_b == expected_next
@@ -137,13 +143,39 @@ class TestBucketBounds:
         with pytest.raises(ValueError, match="outside class range"):
             m.bucket_bounds(17, TrafficClass.BEST_EFFORT)
 
+    @given(
+        st.sampled_from(
+            [LogarithmicMapping(), LinearMapping(horizon_slots=64)]
+        ),
+        st.sampled_from(list(TrafficClass)),
+        st.integers(min_value=-(2**16), max_value=2**16),
+    )
+    def test_monotone_and_saturating_over_all_classes(self, m, tc, laxity):
+        # Covers every traffic class, including the single-level
+        # non-real-time band and negative (late) laxities.
+        lo_p, hi_p = class_priority_range(tc)
+        p = m.priority_for(laxity, tc)
+        assert lo_p <= p <= hi_p
+        # Monotone: shorter laxity never maps lower.
+        assert p >= m.priority_for(laxity + 1, tc)
+        # Saturation: every late or due-now message sits at the class's
+        # most urgent level...
+        if laxity <= 0:
+            assert p == hi_p
+        # ...and lies inside the saturation bucket bucket_bounds reports.
+        lo_b, hi_b = m.bucket_bounds(hi_p, tc)
+        assert lo_b is None
+        if hi_b is not None and laxity <= hi_b:
+            assert p == hi_p
+
     def test_linear_bounds_match_priority_for(self):
         m = LinearMapping(horizon_slots=45)
         tc = TrafficClass.RT_CONNECTION
         lo_p, hi_p = class_priority_range(tc)
         for p in range(lo_p, hi_p + 1):
             lo_b, hi_b = m.bucket_bounds(p, tc)
-            assert m.priority_for(lo_b, tc) == p
+            probe_lo = 0 if lo_b is None else lo_b
+            assert m.priority_for(probe_lo, tc) == p
             if hi_b is not None:
                 assert m.priority_for(hi_b, tc) == p
                 assert m.priority_for(hi_b + 1, tc) == p - 1

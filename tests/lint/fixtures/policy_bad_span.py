@@ -1,0 +1,11 @@
+# lint-fixture-path: repro/core/policy.py
+"""A horizon wider than the class band: the RM encoder would walk a
+connection's priority out of the RT band into best effort."""
+
+
+def _horizon() -> int:
+    return 14
+
+
+RM_PERIOD_HORIZON_LOG2 = 20
+FIFO_AGE_HORIZON_LOG2 = _horizon()

@@ -1,0 +1,5 @@
+# lint-fixture-path: repro/core/policy.py
+"""Scheduler-zoo horizons matching the class band width (good variant)."""
+
+RM_PERIOD_HORIZON_LOG2 = 14
+FIFO_AGE_HORIZON_LOG2 = 14

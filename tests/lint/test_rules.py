@@ -127,6 +127,39 @@ class TestPriorityDomain:
         # Trees without core.priorities (e.g. other fixture runs) are skipped.
         assert lint_tree("wallclock_good.py", rules=("priority-domain",)) == []
 
+    def test_quiet_on_matching_policy_horizons(self, lint_tree):
+        assert (
+            lint_tree(
+                "priority_packets.py",
+                "priority_good.py",
+                "policy_good.py",
+                rules=("priority-domain",),
+            )
+            == []
+        )
+
+    def test_fires_on_band_escaping_horizon(self, lint_tree):
+        findings = lint_tree(
+            "priority_packets.py",
+            "priority_good.py",
+            "policy_bad_span.py",
+            rules=("priority-domain",),
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "RM_PERIOD_HORIZON_LOG2 is 20, expected 14" in messages
+        # The opaque FIFO horizon is a finding, not a silent pass.
+        assert "FIFO_AGE_HORIZON_LOG2 could not be statically resolved" in messages
+
+    def test_policy_module_checked_in_real_tree(self):
+        # The live repo's own horizons must satisfy the rule.
+        from repro.core import policy
+        from repro.core.priorities import TrafficClass, class_priority_range
+
+        for tc in (TrafficClass.BEST_EFFORT, TrafficClass.RT_CONNECTION):
+            lo, hi = class_priority_range(tc)
+            assert policy.RM_PERIOD_HORIZON_LOG2 == hi - lo
+            assert policy.FIFO_AGE_HORIZON_LOG2 == hi - lo
+
 
 class TestVectorPackedField:
     RULE = "vector-packed-field"

@@ -33,6 +33,7 @@ from repro.obs.registry import MetricRegistry
 from repro.sim.fault_models import FaultConfig
 from repro.sim.runner import RunOptions, ScenarioConfig, build_simulation
 from repro.sim.vector import ckernel
+from repro.traffic.industrial import industrial_workload
 from repro.traffic.periodic import ConnectionSource, random_connection_set
 from repro.traffic.sweeps import scale_connections_to_utilisation
 
@@ -236,6 +237,19 @@ def _scenario_initial_master():
     return _simple(config), {}
 
 
+def _scenario_constrained_deadlines():
+    # D < P workload: absolute deadlines are release + relative deadline,
+    # not release + period.  Regression for the kernels' inlined release
+    # path, which once hard-coded the implicit-deadline (D = P) formula.
+    rng = np.random.default_rng(7)
+    conns = industrial_workload(
+        rng, n_nodes=8, n_connections=12, utilisation=0.8,
+        tight_fraction=0.5, tight_deadline_ratio=0.4,
+    )
+    config = ScenarioConfig(n_nodes=8, connections=tuple(conns))
+    return _simple(config), {}
+
+
 SCENARIOS = {
     "loaded_n8": _scenario_loaded_n8,
     "loaded_n32": _scenario_loaded_n32,
@@ -249,6 +263,7 @@ SCENARIOS = {
     "drop_late": _scenario_drop_late,
     "multicast_multislot": _scenario_multicast_multislot,
     "initial_master": _scenario_initial_master,
+    "constrained_deadlines": _scenario_constrained_deadlines,
 }
 
 
@@ -261,7 +276,9 @@ def test_vector_matches_oracle(name):
 
 
 @pytest.mark.parametrize(
-    "name", ["loaded_n8", "admission_churn", "linear_mapping"]
+    "name",
+    ["loaded_n8", "admission_churn", "linear_mapping",
+     "constrained_deadlines"],
 )
 def test_soa_kernel_matches_oracle(name, monkeypatch):
     """Force the numpy SoA kernel onto closed-world scenarios.
@@ -289,6 +306,17 @@ def test_fault_injection_falls_back_to_oracle():
     make_sim, kwargs = _simple(config), {}
     vec_sim = assert_engines_match(make_sim, **kwargs)
     assert vec_sim.vector_fallback_reason == "fault injection active"
+    assert vec_sim.vector_backend is None
+    assert vec_sim.vector_slots == 0
+
+
+def test_non_edf_policy_falls_back_to_oracle():
+    """Non-EDF policies force the oracle; the recorded reason is the
+    documented ``"policy"`` string and the result matches the oracle."""
+    config = _loaded_config(8, 0.7, policy="rm")
+    make_sim, kwargs = _simple(config), {}
+    vec_sim = assert_engines_match(make_sim, **kwargs)
+    assert vec_sim.vector_fallback_reason == "policy"
     assert vec_sim.vector_backend is None
     assert vec_sim.vector_slots == 0
 

@@ -1,0 +1,99 @@
+"""Tests for the constrained-deadline industrial workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.industrial import (
+    ama_andam_sensor_suite,
+    industrial_workload,
+)
+
+
+class TestIndustrialWorkload:
+    def draw(self, seed=0, **kwargs):
+        params = dict(
+            n_nodes=8,
+            n_connections=12,
+            utilisation=0.7,
+            tight_fraction=0.5,
+            tight_deadline_ratio=0.4,
+        )
+        params.update(kwargs)
+        return industrial_workload(np.random.default_rng(seed), **params)
+
+    def test_tight_fraction_honoured(self):
+        conns = self.draw()
+        tight = [c for c in conns if c.deadline_slots is not None]
+        assert len(tight) == 6
+
+    def test_tight_deadlines_are_constrained(self):
+        for c in self.draw(seed=3):
+            if c.deadline_slots is not None:
+                assert c.size_slots <= c.deadline_slots <= c.period_slots
+
+    def test_deadline_near_requested_ratio(self):
+        for c in self.draw(seed=5, tight_deadline_ratio=0.3):
+            if c.deadline_slots is not None and c.deadline_slots > c.size_slots:
+                assert c.deadline_ratio == pytest.approx(0.3, abs=0.05)
+
+    def test_utilisation_unchanged_by_deadlines(self):
+        # The tight subset constrains *when* work is due, not how much.
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        loose = industrial_workload(
+            rng_a, n_nodes=8, n_connections=12, utilisation=0.7,
+            tight_fraction=0.0,
+        )
+        tight = industrial_workload(
+            rng_b, n_nodes=8, n_connections=12, utilisation=0.7,
+            tight_fraction=1.0,
+        )
+        assert sum(c.utilisation for c in loose) == pytest.approx(
+            sum(c.utilisation for c in tight)
+        )
+
+    def test_zero_fraction_is_implicit_deadline_set(self):
+        conns = self.draw(tight_fraction=0.0)
+        assert all(c.deadline_slots is None for c in conns)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="tight fraction"):
+            self.draw(tight_fraction=1.5)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError, match="tight deadline ratio"):
+            self.draw(tight_deadline_ratio=0.0)
+
+
+class TestAmaAndamSuite:
+    def test_paper_parameters(self):
+        suite = ama_andam_sensor_suite()
+        rows = sorted(
+            (c.period_slots, c.size_slots, c.relative_deadline_slots)
+            for c in suite
+        )
+        assert rows == [
+            (100, 32, 100),
+            (200, 25, 80),
+            (300, 35, 120),
+            (500, 180, 500),
+        ]
+
+    def test_utilisation(self):
+        suite = ama_andam_sensor_suite()
+        assert sum(c.utilisation for c in suite) == pytest.approx(
+            0.9217, abs=0.0005
+        )
+
+    def test_synchronous_release(self):
+        # Phase 0 everywhere: the critical instant the analysis uses.
+        assert all(c.phase_slots == 0 for c in ama_andam_sensor_suite())
+
+    def test_all_streams_feed_the_controller(self):
+        suite = ama_andam_sensor_suite()
+        assert all(c.destinations == frozenset([0]) for c in suite)
+        assert sorted(c.source for c in suite) == [1, 2, 3, 4]
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(ValueError, match="nodes 0-4"):
+            ama_andam_sensor_suite(n_nodes=4)

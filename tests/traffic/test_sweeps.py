@@ -5,16 +5,20 @@ import pytest
 
 from repro.core.connection import LogicalRealTimeConnection
 from repro.traffic.periodic import random_connection_set
-from repro.traffic.sweeps import scale_connections_to_utilisation
+from repro.traffic.sweeps import (
+    random_workload,
+    scale_connections_to_utilisation,
+)
 
 
-def conn(period, size, source=0, dst=1, phase=0):
+def conn(period, size, source=0, dst=1, phase=0, deadline=None):
     return LogicalRealTimeConnection(
         source=source,
         destinations=frozenset([dst]),
         period_slots=period,
         size_slots=size,
         phase_slots=phase,
+        deadline_slots=deadline,
     )
 
 
@@ -76,3 +80,85 @@ class TestScaling:
         conns = [conn(100, 50)]
         with pytest.raises(ValueError, match="cannot hold"):
             scale_connections_to_utilisation(conns, 0.001, max_period_slots=10)
+
+    def test_deadline_ratio_preserved(self):
+        # Constrained deadlines scale with their period: D/P is invariant.
+        conns = [conn(100, 5, deadline=40)]
+        scaled = scale_connections_to_utilisation(conns, 0.025)  # period x2
+        c = scaled[0]
+        assert c.period_slots == 200
+        assert c.deadline_slots == 80
+
+    def test_implicit_deadlines_stay_implicit(self):
+        scaled = scale_connections_to_utilisation([conn(100, 5)], 0.1)
+        assert scaled[0].deadline_slots is None
+
+
+class TestRandomWorkload:
+    """Regression tests for the single utilisation-targeting pass.
+
+    ``random_connection_set`` already targets the utilisation through
+    UUniFast shares; an earlier revision rescaled that already-targeted
+    set a *second* time, compounding the integral-size rounding and --
+    because the rescale multiplies periods by a global factor without
+    knowing the bounds -- pushing periods outside the requested
+    ``period_range``.  These tests pin the single-pass error bound and
+    the range guarantee.
+    """
+
+    def test_achieved_error_bounds(self):
+        # Pin the achieved-vs-target relative error of the single pass:
+        # per-seed within 35% (small UUniFast shares round their one-slot
+        # size up), on average within 8%.
+        for target in (0.5, 0.7, 0.9):
+            errors = []
+            for seed in range(100):
+                rng = np.random.default_rng(seed)
+                conns = random_workload(rng, 8, 12, target)
+                achieved = sum(c.utilisation for c in conns)
+                errors.append(abs(achieved - target) / target)
+            assert max(errors) < 0.35
+            assert float(np.mean(errors)) < 0.08
+
+    def test_periods_respect_requested_range(self):
+        # The double-rescale path multiplied periods by a global factor
+        # and routinely left the requested range; the single pass never
+        # does.
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            conns = random_workload(
+                rng, 8, 24, 0.95, period_range=(10, 50)
+            )
+            assert all(10 <= c.period_slots <= 50 for c in conns)
+
+    def test_deterministic_in_rng(self):
+        draws = [
+            random_workload(np.random.default_rng(7), 8, 12, 0.7)
+            for _ in range(2)
+        ]
+        assert [
+            (c.source, c.period_slots, c.size_slots) for c in draws[0]
+        ] == [(c.source, c.period_slots, c.size_slots) for c in draws[1]]
+
+    def test_industrial_profile_gets_tight_deadlines(self):
+        rng = np.random.default_rng(2)
+        conns = random_workload(
+            rng, 8, 12, 0.7, profile="industrial",
+            tight_fraction=0.5, tight_deadline_ratio=0.4,
+        )
+        tight = [c for c in conns if c.deadline_slots is not None]
+        assert len(tight) == 6
+        for c in tight:
+            assert c.deadline_slots <= c.period_slots
+            assert c.deadline_slots >= c.size_slots
+
+    def test_ama_andam_profile_is_the_fixed_suite(self):
+        rng = np.random.default_rng(0)
+        conns = random_workload(rng, 5, 99, 0.9217, profile="ama-andam")
+        assert len(conns) == 4  # n_connections is ignored by the suite
+        achieved = sum(c.utilisation for c in conns)
+        assert achieved == pytest.approx(0.9217, rel=0.05)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload profile"):
+            random_workload(np.random.default_rng(0), 8, 12, 0.7, profile="spiky")
